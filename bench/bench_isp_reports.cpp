@@ -1,0 +1,81 @@
+// Extension bench for the motivating use-case of §I: report-storm
+// suppression over the ISP substrate. A fleet of home gateways runs the
+// full pipeline (detector banks -> snapshots -> local characterization);
+// faults are injected at gateways (isolated) and at aggregation/regional
+// routers and service backends (massive). The report centre compares the
+// naive policy (every abnormal gateway calls support) against the paper's
+// policy (only isolated anomalies call; one alert per network event).
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "detect/ewma.hpp"
+#include "net/monitoring.hpp"
+
+int main() {
+  acn::TopologyConfig topo_config;
+  topo_config.regions = 4;
+  topo_config.aggregations_per_region = 4;
+  topo_config.gateways_per_aggregation = 16;  // 256 gateways
+  topo_config.services = 2;
+  const acn::Topology topology(topo_config);
+
+  acn::QosNetwork network(topology, {.base_qos = 0.92, .noise_sigma = 0.01},
+                          /*seed=*/5150);
+  acn::FaultInjector faults;
+  acn::Rng rng(2014);
+
+  // Fault plan over 400 ticks: a stream of gateway-local faults plus a few
+  // subtree outages. Severities are randomized per fault.
+  const std::uint64_t horizon = 400;
+  std::uint64_t injected_isolated = 0;
+  std::uint64_t injected_network = 0;
+  for (std::uint64_t t = 16; t < horizon; t += 16) {
+    for (int i = 0; i < 3; ++i) {
+      faults.inject({acn::FaultSite::kGateway,
+                     static_cast<std::size_t>(rng.uniform_int(
+                         static_cast<std::uint64_t>(topology.gateway_count()))),
+                     0.3 + 0.3 * rng.uniform(), t + rng.uniform_int(std::uint64_t{8}),
+                     8});
+      ++injected_isolated;
+    }
+  }
+  for (const std::uint64_t t : {std::uint64_t{64}, std::uint64_t{192}, std::uint64_t{320}}) {
+    faults.inject({acn::FaultSite::kAggregation,
+                   static_cast<std::size_t>(
+                       rng.uniform_int(static_cast<std::uint64_t>(topology.aggregation_count()))),
+                   0.5, t, 16});
+    ++injected_network;
+  }
+  faults.inject({acn::FaultSite::kRegion, 1, 0.45, 128, 16});
+  faults.inject({acn::FaultSite::kServiceBackend, 0, 0.4, 256, 16});
+  injected_network += 2;
+
+  acn::SwarmConfig swarm_config;
+  swarm_config.model = {.r = 0.04, .tau = 3};
+  swarm_config.snapshot_interval = 8;
+  acn::EwmaDetector prototype({.alpha = 0.3, .k_sigma = 5.0, .warmup = 6});
+  acn::MonitoringSwarm swarm(topology, swarm_config, prototype);
+  acn::ReportCenter centre;
+
+  for (std::uint64_t t = 0; t < horizon; ++t) {
+    if (const auto outcome = swarm.tick(network, faults)) centre.ingest(*outcome);
+  }
+
+  std::printf("# ISP report-storm suppression; %zu gateways, %llu ticks\n\n",
+              topology.gateway_count(), static_cast<unsigned long long>(horizon));
+  acn::Table table({"metric", "value"});
+  table.add_row({"injected gateway-local faults", acn::fmt(injected_isolated, 0)});
+  table.add_row({"injected network-level faults", acn::fmt(injected_network, 0)});
+  table.add_row({"snapshots", acn::fmt(centre.snapshots(), 0)});
+  table.add_row({"support calls, naive policy", acn::fmt(centre.naive_calls(), 0)});
+  table.add_row({"support calls, paper policy", acn::fmt(centre.filtered_calls(), 0)});
+  table.add_row({"network alerts to OTT", acn::fmt(centre.network_alerts(), 0)});
+  table.add_row({"unresolved verdicts", acn::fmt(centre.unresolved_count(), 0)});
+  table.add_row({"suppression ratio", acn::fmt(centre.suppression_ratio(), 3)});
+  table.print();
+  std::printf(
+      "\n# Shape check: the paper policy suppresses the large majority of calls\n"
+      "# during subtree outages while still surfacing gateway-local faults.\n");
+  return 0;
+}

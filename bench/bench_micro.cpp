@@ -1,0 +1,99 @@
+// Microbenchmarks (google-benchmark) for the core primitives: neighbourhood
+// queries, maximal-motion enumeration (Algorithm 2), full characterization
+// (Algorithms 3-5), greedy partition construction (Algorithm 1) and the
+// baselines, across system sizes and densities.
+#include <benchmark/benchmark.h>
+
+#include "baseline/central_kmeans.hpp"
+#include "baseline/tessellation.hpp"
+#include "core/characterizer.hpp"
+#include "core/partition.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+acn::ScenarioStep make_step(std::size_t n, std::uint32_t errors, double g,
+                            std::uint64_t seed) {
+  acn::ScenarioParams params;
+  params.n = n;
+  params.d = 2;
+  params.model = {.r = 0.03, .tau = 3};
+  params.errors_per_step = errors;
+  params.isolated_probability = g;
+  params.seed = seed;
+  acn::ScenarioGenerator generator(params);
+  return generator.advance();
+}
+
+void BM_NeighbourhoodQuery(benchmark::State& state) {
+  const auto step = make_step(static_cast<std::size_t>(state.range(0)), 20, 0.3, 1);
+  const acn::Params model{.r = 0.03, .tau = 3};
+  for (auto _ : state) {
+    acn::MotionOracle oracle(step.state, model);
+    for (const acn::DeviceId j : step.state.abnormal()) {
+      benchmark::DoNotOptimize(oracle.neighbourhood(j));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(step.state.abnormal().size()));
+}
+BENCHMARK(BM_NeighbourhoodQuery)->Arg(500)->Arg(1000)->Arg(2000)->Arg(4000);
+
+void BM_MaximalMotionEnumeration(benchmark::State& state) {
+  const auto step = make_step(1000, static_cast<std::uint32_t>(state.range(0)), 0.2, 2);
+  const acn::Params model{.r = 0.03, .tau = 3};
+  for (auto _ : state) {
+    acn::MotionOracle oracle(step.state, model);
+    for (const acn::DeviceId j : step.state.abnormal()) {
+      benchmark::DoNotOptimize(oracle.maximal_motions(j));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(step.state.abnormal().size()));
+}
+BENCHMARK(BM_MaximalMotionEnumeration)->Arg(10)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_CharacterizeAll(benchmark::State& state) {
+  const auto step = make_step(1000, static_cast<std::uint32_t>(state.range(0)), 0.2, 3);
+  const acn::Params model{.r = 0.03, .tau = 3};
+  for (auto _ : state) {
+    acn::Characterizer characterizer(step.state, model);
+    benchmark::DoNotOptimize(characterizer.characterize_all());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(step.state.abnormal().size()));
+}
+BENCHMARK(BM_CharacterizeAll)->Arg(10)->Arg(20)->Arg(40)->Arg(80)->Unit(benchmark::kMillisecond);
+
+void BM_GreedyPartition(benchmark::State& state) {
+  const auto step = make_step(1000, 20, 0.2, 4);
+  const acn::Params model{.r = 0.03, .tau = 3};
+  acn::Rng rng(99);
+  for (auto _ : state) {
+    acn::MotionOracle oracle(step.state, model);
+    benchmark::DoNotOptimize(acn::build_anomaly_partition(oracle, rng));
+  }
+}
+BENCHMARK(BM_GreedyPartition)->Unit(benchmark::kMillisecond);
+
+void BM_TessellationBaseline(benchmark::State& state) {
+  const auto step = make_step(1000, 20, 0.2, 5);
+  const acn::TessellationBaseline baseline(0.06, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baseline.classify(step.state));
+  }
+}
+BENCHMARK(BM_TessellationBaseline);
+
+void BM_CentralKmeansBaseline(benchmark::State& state) {
+  const auto step = make_step(1000, 20, 0.2, 6);
+  const acn::CentralKmeansBaseline baseline({.tau = 3, .cluster_divisor = 6});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baseline.classify(step.state));
+  }
+}
+BENCHMARK(BM_CentralKmeansBaseline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Table II: average repartition of the abnormal devices A_k across
+//   I_k  (decided by Theorem 5),
+//   M_k  (decided by the cheap sufficient condition, Theorem 6),
+//   U_k  (certified unresolved by Corollary 8),
+//   M_k  (the extra devices only the full NSC of Theorem 7 catches).
+//
+// Paper settings: A = 20 errors per interval, n = 1000, r = 0.03, tau = 3,
+// G set to a small epsilon so massive anomalies dominate (|A_k| ~ 95.7).
+// Paper numbers:   2.54% | 88.34% | 8.72% | 0.4%.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "sim_harness.hpp"
+
+int main() {
+  acn::ScenarioParams params;
+  params.n = 1000;
+  params.d = 2;
+  params.model = {.r = 0.03, .tau = 3};
+  params.errors_per_step = 20;
+  params.isolated_probability = 0.05;  // the paper's "small constant epsilon"
+  params.enforce_r3 = true;
+  params.seed = 20140622;
+  params.apply_calibrated_profile();  // see EXPERIMENTS.md for the ladder
+
+  const std::uint64_t steps = 60;
+  acn::bench::print_seed_banner("Table II", params, steps);
+
+  const acn::bench::HarnessResult result = acn::bench::run_scenario(params, steps);
+  const auto& m = result.metrics;
+
+  std::printf("\nmean |A_k| = %.1f devices per interval (paper: 95.7)\n\n",
+              m.abnormal.mean());
+
+  acn::Table table({"set", "decided by", "this repro (%)", "paper (%)"});
+  table.add_row({"I_k", "Theorem 5", acn::fmt(m.isolated_share.mean(), 2), "2.54"});
+  table.add_row({"M_k", "Theorem 6", acn::fmt(m.massive6_share.mean(), 2), "88.34"});
+  table.add_row({"U_k", "Corollary 8", acn::fmt(m.unresolved_share.mean(), 2), "8.72"});
+  table.add_row({"M_k extra", "Theorem 7", acn::fmt(m.massive7_share.mean(), 2), "0.4"});
+  table.print();
+
+  std::printf(
+      "\n# Shape checks: Theorem 6 decides the overwhelming majority of M_k;\n"
+      "# Theorem 7 adds under ~1%%; I_k stays small because G ~ epsilon.\n");
+  if (m.budget_exhausted > 0) {
+    std::printf("# WARNING: %llu devices hit the Theorem-7 node budget\n",
+                static_cast<unsigned long long>(m.budget_exhausted));
+  }
+  if (result.dropped_errors > 0) {
+    std::printf("# note: %llu isolated errors dropped by R3 placement\n",
+                static_cast<unsigned long long>(result.dropped_errors));
+  }
+  return 0;
+}

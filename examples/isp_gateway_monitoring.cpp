@@ -1,0 +1,58 @@
+// ISP scenario (the paper's §I motivation): a fleet of home gateways runs
+// the full pipeline — per-service detectors feed a_k, periodic snapshots
+// feed the local characterizer — while faults hit individual gateways and
+// whole subtrees. Shows, snapshot by snapshot, who would have called the
+// support centre and what actually gets reported.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "detect/ewma.hpp"
+#include "net/monitoring.hpp"
+
+int main() {
+  // 2 regions x 4 aggregations x 12 gateways = 96 gateways, 2 services.
+  acn::Topology topology({.regions = 2,
+                          .aggregations_per_region = 4,
+                          .gateways_per_aggregation = 12,
+                          .services = 2});
+  acn::QosNetwork network(topology, {.base_qos = 0.92, .noise_sigma = 0.008},
+                          /*seed=*/7);
+
+  acn::FaultInjector faults;
+  // Three gateway-local faults (hardware trouble at homes 5, 40, 77)...
+  faults.inject({acn::FaultSite::kGateway, 5, 0.5, 24, 12});
+  faults.inject({acn::FaultSite::kGateway, 40, 0.4, 56, 12});
+  faults.inject({acn::FaultSite::kGateway, 77, 0.6, 88, 12});
+  // ... one aggregation-switch outage (12 gateways at once) ...
+  faults.inject({acn::FaultSite::kAggregation, 2, 0.5, 40, 16});
+  // ... and one regional outage (48 gateways at once).
+  faults.inject({acn::FaultSite::kRegion, 1, 0.45, 72, 16});
+
+  acn::SwarmConfig config;
+  config.model = {.r = 0.04, .tau = 3};
+  config.snapshot_interval = 8;
+  acn::EwmaDetector prototype({.alpha = 0.3, .k_sigma = 5.0, .warmup = 6});
+  acn::MonitoringSwarm swarm(topology, config, prototype);
+  acn::ReportCenter centre;
+
+  std::printf("tick | |A_k| | isolated (call support)      | massive | unresolved\n");
+  std::printf("-----+------+------------------------------+---------+-----------\n");
+  for (std::uint64_t t = 0; t < 120; ++t) {
+    const auto outcome = swarm.tick(network, faults);
+    if (!outcome.has_value() || outcome->abnormal.empty()) continue;
+    centre.ingest(*outcome);
+    std::printf("%4llu | %4zu | %-28s | %7zu | %zu\n",
+                static_cast<unsigned long long>(outcome->tick),
+                outcome->abnormal.size(), outcome->isolated.to_string().c_str(),
+                outcome->massive.size(), outcome->unresolved.size());
+  }
+
+  std::printf("\nsupport calls: naive policy %llu -> paper policy %llu "
+              "(suppression %.1f%%)\n",
+              static_cast<unsigned long long>(centre.naive_calls()),
+              static_cast<unsigned long long>(centre.filtered_calls()),
+              100.0 * centre.suppression_ratio());
+  std::printf("network alerts pushed to the operator: %llu\n",
+              static_cast<unsigned long long>(centre.network_alerts()));
+  return 0;
+}

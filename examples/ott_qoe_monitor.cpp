@@ -1,0 +1,89 @@
+// Over-the-top (OTT) operator scenario from §I: the OTT rides on ISPs it
+// does not control, so it wants the *opposite* filter from the ISP — be
+// alerted on network-level (massive) events quickly, and ignore isolated
+// customer-side problems. This example measures the detection latency from
+// fault injection to the first massive verdict, per event.
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "detect/cusum.hpp"
+#include "net/monitoring.hpp"
+
+int main() {
+  acn::Topology topology({.regions = 3,
+                          .aggregations_per_region = 3,
+                          .gateways_per_aggregation = 16,
+                          .services = 2});  // 144 gateways
+  acn::QosNetwork network(topology, {.base_qos = 0.9, .noise_sigma = 0.01},
+                          /*seed=*/99);
+
+  struct Event {
+    acn::Fault fault;
+    const char* label;
+    std::optional<std::uint64_t> detected_tick;
+  };
+  std::vector<Event> events = {
+      {{acn::FaultSite::kAggregation, 1, 0.5, 40, 24}, "aggregation outage", {}},
+      {{acn::FaultSite::kRegion, 2, 0.45, 120, 24}, "regional outage", {}},
+      {{acn::FaultSite::kServiceBackend, 1, 0.5, 200, 24}, "service backend", {}},
+      // Distractors the OTT must NOT page on:
+      {{acn::FaultSite::kGateway, 17, 0.6, 80, 12}, "lone gateway (ignore)", {}},
+      {{acn::FaultSite::kGateway, 90, 0.5, 160, 12}, "lone gateway (ignore)", {}},
+  };
+
+  acn::FaultInjector faults;
+  for (const Event& event : events) faults.inject(event.fault);
+
+  acn::SwarmConfig config;
+  config.model = {.r = 0.05, .tau = 3};
+  config.snapshot_interval = 4;  // OTT samples aggressively for low latency
+  // Detector false alarms are costlier here than in the ISP case: healthy
+  // gateways all sit at the same healthy operating point of the QoS space,
+  // so a handful of simultaneous spurious alarms *looks like* a correlated
+  // massive event. Run the CUSUM conservatively.
+  acn::CusumDetector prototype({.slack = 0.75, .threshold = 8.0, .warmup = 16});
+  acn::MonitoringSwarm swarm(topology, config, prototype);
+
+  std::uint64_t false_pages = 0;
+  for (std::uint64_t t = 0; t < 260; ++t) {
+    const auto outcome = swarm.tick(network, faults);
+    if (!outcome.has_value() || outcome->massive.empty()) continue;
+    // Attribute the massive verdict to the injected event(s) active now.
+    bool attributed = false;
+    for (Event& event : events) {
+      const bool active = outcome->tick >= event.fault.start &&
+                          outcome->tick < event.fault.start + event.fault.duration +
+                                              config.snapshot_interval;
+      const bool network_level = event.fault.site != acn::FaultSite::kGateway;
+      if (active && network_level) {
+        if (!event.detected_tick.has_value()) event.detected_tick = outcome->tick;
+        attributed = true;
+      }
+    }
+    if (!attributed) ++false_pages;
+  }
+
+  std::printf("event              | injected | detected | latency (ticks)\n");
+  std::printf("-------------------+----------+----------+----------------\n");
+  for (const Event& event : events) {
+    if (event.fault.site == acn::FaultSite::kGateway) continue;
+    if (event.detected_tick.has_value()) {
+      std::printf("%-18s | %8llu | %8llu | %llu\n", event.label,
+                  static_cast<unsigned long long>(event.fault.start),
+                  static_cast<unsigned long long>(*event.detected_tick),
+                  static_cast<unsigned long long>(*event.detected_tick -
+                                                  event.fault.start));
+    } else {
+      std::printf("%-18s | %8llu |   missed |\n", event.label,
+                  static_cast<unsigned long long>(event.fault.start));
+    }
+  }
+  std::printf(
+      "\nunattributed massive pages: %llu\n"
+      "(residual false alarms: quiescent gateways share one healthy QoS\n"
+      " operating point, so simultaneous spurious detector alarms can mimic\n"
+      " a correlated event — tune the detector, or filter repeat offenders)\n",
+      static_cast<unsigned long long>(false_pages));
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Malicious devices — the paper's declared future work (§VIII):
+//
+//   "we plan to extend our characterization to take into account malicious
+//    devices. In particular, we will study the presence of collusion of
+//    malicious devices whose aim would be to prevent an impacted device to
+//    be detected by the monitoring application."
+//
+// The trajectories the characterizer consumes are *claims* made by peers;
+// nothing in the DSN'14 model authenticates them. This module implements
+// the attack the authors anticipate, plus two variants, by rewriting the
+// state a victim's characterizer observes:
+//
+//   kFakeCrowd — colluders claim trajectories shadowing the victim's real
+//     one. The victim's genuinely *isolated* anomaly now sits inside a
+//     fabricated tau-dense motion: Theorem 5 no longer applies, the victim
+//     concludes "massive" and stays silent — exactly "preventing an
+//     impacted device from being detected".
+//   kScatterCover — colluders impacted by a real massive event claim
+//     scattered positions, bleeding the event's dense motions below tau so
+//     impacted devices mis-report isolated failures (support-desk flood).
+//   kMimicNoise — colluders replay other devices' trajectories with small
+//     perturbations (chaff; degrades precision without a specific victim).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/state.hpp"
+#include "core/params.hpp"
+
+namespace acn {
+
+enum class AttackStrategy : std::uint8_t {
+  kFakeCrowd,
+  kScatterCover,
+  kMimicNoise,
+};
+
+[[nodiscard]] constexpr const char* to_string(AttackStrategy s) noexcept {
+  switch (s) {
+    case AttackStrategy::kFakeCrowd: return "fake-crowd";
+    case AttackStrategy::kScatterCover: return "scatter-cover";
+    case AttackStrategy::kMimicNoise: return "mimic-noise";
+  }
+  return "?";
+}
+
+struct AttackConfig {
+  AttackStrategy strategy = AttackStrategy::kFakeCrowd;
+  /// Devices the adversary controls (their claims are rewritten).
+  std::vector<DeviceId> colluders;
+  /// Victim whose verdict the adversary wants to flip (kFakeCrowd) or the
+  /// massive event whose devices it wants to scatter (kScatterCover: any
+  /// member id). Ignored by kMimicNoise.
+  DeviceId target = 0;
+  /// Spatial tightness of fabricated claims, as a fraction of r.
+  double claim_jitter = 0.5;
+  std::uint64_t seed = 1;
+};
+
+/// The compromised state: what honest devices observe after the adversary
+/// rewrites its colluders' claims. Ground truth (`honest`) is kept so the
+/// benches can score the attack.
+struct CompromisedState {
+  StatePair observed;          ///< claims, as fed to characterizers
+  DeviceSet colluders;         ///< which devices lied
+  DeviceSet fabricated_abnormal;  ///< colluders that fabricated a_k = true
+};
+
+/// Applies the attack to an honest state. Colluders must be valid ids;
+/// throws std::invalid_argument otherwise.
+[[nodiscard]] CompromisedState apply_attack(const StatePair& honest, Params model,
+                                            const AttackConfig& config);
+
+}  // namespace acn

@@ -1,0 +1,45 @@
+// Centralized clustering baseline in the style of the paper's reference
+// [15] (Zhao et al., ICAC 2009): a management node gathers *all* abnormal
+// trajectories, clusters them with k-means (the paper pinpoints "the
+// centralized clustering process [...] exclusively run by the management
+// node" as the scalability impediment), and declares a device massive iff
+// its cluster holds more than tau devices.
+//
+// Besides accuracy, the baseline exposes its communication cost: every
+// abnormal device ships its full trajectory (2d coordinates) to the centre
+// each interval, whereas the paper's local algorithm only exchanges within
+// a 4r neighbourhood.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "core/partition_enumerator.hpp"
+#include "core/state.hpp"
+
+namespace acn {
+
+class CentralKmeansBaseline {
+ public:
+  struct Config {
+    std::uint32_t tau = 3;
+    /// Cluster budget: k = max(1, |A_k| / cluster_divisor).
+    std::uint32_t cluster_divisor = 6;
+    int max_iterations = 50;
+    std::uint64_t seed = 1;
+  };
+
+  explicit CentralKmeansBaseline(Config config);
+
+  [[nodiscard]] CharacterizationSets classify(const StatePair& state) const;
+
+  /// Doubles shipped to the management node for one interval.
+  [[nodiscard]] std::uint64_t communication_cost(const StatePair& state) const noexcept {
+    return static_cast<std::uint64_t>(state.abnormal().size()) * state.joint_dim();
+  }
+
+ private:
+  Config config_;
+};
+
+}  // namespace acn

@@ -1,0 +1,40 @@
+// Tessellation baseline in the style of FixMe (the paper's reference [1],
+// Anceaume et al., OPODIS 2012).
+//
+// The related-work section criticizes this design: "tessellating the space
+// with large bucket sizes tends to identify each possible anomaly as a
+// massive one, while considering small bucket sizes reduces drastically the
+// probability of having a large number of devices in a single bucket,
+// giving rise to the triggering of false alarms."
+//
+// We reproduce that mechanism so benches can quantify the criticism: the
+// QoS space is cut into axis-aligned buckets of side `bucket`; an abnormal
+// device's signature is the pair (bucket at k-1, bucket at k); a device is
+// declared massive iff more than tau abnormal devices share its signature.
+#pragma once
+
+#include <cstddef>
+
+#include "core/params.hpp"
+#include "core/partition_enumerator.hpp"
+#include "core/state.hpp"
+
+namespace acn {
+
+class TessellationBaseline {
+ public:
+  /// Requires bucket > 0.
+  TessellationBaseline(double bucket, std::uint32_t tau);
+
+  /// Classifies every abnormal device of `state` (no unresolved class: the
+  /// tessellation cannot express uncertainty).
+  [[nodiscard]] CharacterizationSets classify(const StatePair& state) const;
+
+  [[nodiscard]] double bucket() const noexcept { return bucket_; }
+
+ private:
+  double bucket_;
+  std::uint32_t tau_;
+};
+
+}  // namespace acn

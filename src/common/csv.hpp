@@ -1,0 +1,37 @@
+// Minimal CSV reading/writing — the interchange format of the CLI tool and
+// the benches' machine-readable output. Quoting rules: fields containing
+// commas, quotes or newlines are double-quoted with embedded quotes doubled
+// (RFC 4180 subset, no multi-line fields on input).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace acn {
+
+class CsvWriter {
+ public:
+  /// Starts with a header row.
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  void add_numeric_row(const std::vector<double>& row, int precision = 6);
+
+  [[nodiscard]] std::string to_string() const;
+  /// Writes to `path`; throws std::runtime_error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parses CSV text into rows of fields. Handles quoted fields; throws
+/// std::invalid_argument on malformed quoting.
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+/// Reads and parses a CSV file; throws std::runtime_error if unreadable.
+[[nodiscard]] std::vector<std::vector<std::string>> read_csv_file(
+    const std::string& path);
+
+}  // namespace acn

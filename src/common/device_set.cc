@@ -1,0 +1,137 @@
+#include "common/device_set.hpp"
+
+#include <algorithm>
+
+namespace acn {
+
+DeviceSet::DeviceSet(std::vector<DeviceId> ids) : ids_(std::move(ids)) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+DeviceSet::DeviceSet(std::initializer_list<DeviceId> ids)
+    : DeviceSet(std::vector<DeviceId>(ids)) {}
+
+DeviceSet DeviceSet::singleton(DeviceId id) { return DeviceSet({id}); }
+
+bool DeviceSet::contains(DeviceId id) const noexcept {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+bool DeviceSet::is_subset_of(const DeviceSet& other) const noexcept {
+  return std::includes(other.ids_.begin(), other.ids_.end(), ids_.begin(),
+                       ids_.end());
+}
+
+bool DeviceSet::is_disjoint_from(const DeviceSet& other) const noexcept {
+  auto a = ids_.begin();
+  auto b = other.ids_.begin();
+  while (a != ids_.end() && b != other.ids_.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t DeviceSet::intersection_size(const DeviceSet& other) const noexcept {
+  auto a = ids_.begin();
+  auto b = other.ids_.begin();
+  std::size_t n = 0;
+  while (a != ids_.end() && b != other.ids_.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      ++n;
+      ++a;
+      ++b;
+    }
+  }
+  return n;
+}
+
+DeviceSet DeviceSet::set_union(const DeviceSet& other) const {
+  std::vector<DeviceId> out;
+  out.reserve(ids_.size() + other.ids_.size());
+  std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(), other.ids_.end(),
+                 std::back_inserter(out));
+  DeviceSet r;
+  r.ids_ = std::move(out);
+  return r;
+}
+
+DeviceSet DeviceSet::set_intersection(const DeviceSet& other) const {
+  std::vector<DeviceId> out;
+  std::set_intersection(ids_.begin(), ids_.end(), other.ids_.begin(),
+                        other.ids_.end(), std::back_inserter(out));
+  DeviceSet r;
+  r.ids_ = std::move(out);
+  return r;
+}
+
+DeviceSet DeviceSet::set_difference(const DeviceSet& other) const {
+  std::vector<DeviceId> out;
+  std::set_difference(ids_.begin(), ids_.end(), other.ids_.begin(),
+                      other.ids_.end(), std::back_inserter(out));
+  DeviceSet r;
+  r.ids_ = std::move(out);
+  return r;
+}
+
+DeviceSet DeviceSet::with(DeviceId id) const {
+  if (contains(id)) return *this;
+  DeviceSet r = *this;
+  r.ids_.insert(std::lower_bound(r.ids_.begin(), r.ids_.end(), id), id);
+  return r;
+}
+
+DeviceSet DeviceSet::without(DeviceId id) const {
+  DeviceSet r = *this;
+  const auto it = std::lower_bound(r.ids_.begin(), r.ids_.end(), id);
+  if (it != r.ids_.end() && *it == id) r.ids_.erase(it);
+  return r;
+}
+
+std::uint64_t DeviceSet::hash() const noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const DeviceId id : ids_) {
+    h ^= id;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::string DeviceSet::to_string() const {
+  std::string s = "{";
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += std::to_string(ids_[i]);
+  }
+  s += "}";
+  return s;
+}
+
+std::vector<DeviceSet> keep_maximal(std::vector<DeviceSet> family) {
+  std::sort(family.begin(), family.end());
+  family.erase(std::unique(family.begin(), family.end()), family.end());
+  std::vector<DeviceSet> maximal;
+  for (const auto& candidate : family) {
+    bool covered = false;
+    for (const auto& other : family) {
+      if (other.size() > candidate.size() && candidate.is_subset_of(other)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) maximal.push_back(candidate);
+  }
+  return maximal;
+}
+
+}  // namespace acn

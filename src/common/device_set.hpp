@@ -1,0 +1,71 @@
+// DeviceSet: an immutable-by-convention sorted set of device identifiers.
+//
+// The characterization algorithms (Theorems 5-7, Corollary 8) manipulate
+// many small sets of devices: r-consistent motions, anomaly-partition
+// classes, neighbourhoods. A sorted std::vector<DeviceId> beats node-based
+// containers at these sizes (typically < 32 elements) and gives O(n) merge
+// operations and cheap hashing for deduplication of enumerated motions.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace acn {
+
+using DeviceId = std::uint32_t;
+
+class DeviceSet {
+ public:
+  DeviceSet() = default;
+  /// Builds from arbitrary order; sorts and deduplicates.
+  explicit DeviceSet(std::vector<DeviceId> ids);
+  DeviceSet(std::initializer_list<DeviceId> ids);
+
+  [[nodiscard]] static DeviceSet singleton(DeviceId id);
+
+  [[nodiscard]] bool empty() const noexcept { return ids_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+  [[nodiscard]] bool contains(DeviceId id) const noexcept;
+  [[nodiscard]] bool is_subset_of(const DeviceSet& other) const noexcept;
+  [[nodiscard]] bool is_disjoint_from(const DeviceSet& other) const noexcept;
+  [[nodiscard]] std::size_t intersection_size(const DeviceSet& other) const noexcept;
+
+  [[nodiscard]] DeviceSet set_union(const DeviceSet& other) const;
+  [[nodiscard]] DeviceSet set_intersection(const DeviceSet& other) const;
+  [[nodiscard]] DeviceSet set_difference(const DeviceSet& other) const;
+  [[nodiscard]] DeviceSet with(DeviceId id) const;
+  [[nodiscard]] DeviceSet without(DeviceId id) const;
+
+  [[nodiscard]] std::span<const DeviceId> ids() const noexcept { return ids_; }
+  [[nodiscard]] auto begin() const noexcept { return ids_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return ids_.end(); }
+  [[nodiscard]] DeviceId operator[](std::size_t i) const noexcept { return ids_[i]; }
+
+  /// FNV-1a over the id sequence; stable across runs (used for memo keys).
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+
+  /// "{1, 4, 7}" - for diagnostics and test failure messages.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const DeviceSet&, const DeviceSet&) = default;
+  /// Lexicographic; gives deterministic iteration orders project-wide.
+  friend auto operator<=>(const DeviceSet&, const DeviceSet&) = default;
+
+ private:
+  std::vector<DeviceId> ids_;
+};
+
+/// Removes sets that are subsets of another set in the family (keeps the
+/// inclusion-maximal ones) and deduplicates. Order of survivors is sorted.
+[[nodiscard]] std::vector<DeviceSet> keep_maximal(std::vector<DeviceSet> family);
+
+struct DeviceSetHash {
+  std::size_t operator()(const DeviceSet& s) const noexcept {
+    return static_cast<std::size_t>(s.hash());
+  }
+};
+
+}  // namespace acn

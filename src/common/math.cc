@@ -1,0 +1,48 @@
+#include "common/math.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace acn {
+
+double log_binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  if (k == 0 || k == n) return 0.0;
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p) {
+  if (k > n) return 0.0;
+  if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return k == n ? 1.0 : 0.0;
+  const double log_pmf = log_binomial(n, k) +
+                         static_cast<double>(k) * std::log(p) +
+                         static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double binomial_cdf(std::uint64_t n, std::uint64_t k, double p) {
+  if (k >= n) return 1.0;
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i <= k; ++i) acc += binomial_pmf(n, i, p);
+  return acc > 1.0 ? 1.0 : acc;
+}
+
+double log_add_exp(double a, double b) {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  const double m = a > b ? a : b;
+  return m + std::log(std::exp(a - m) + std::exp(b - m));
+}
+
+double clamp(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+bool nearly_equal(double a, double b, double eps) {
+  return std::fabs(a - b) <= eps;
+}
+
+}  // namespace acn

@@ -1,0 +1,27 @@
+// Numerically stable combinatorial / probability helpers used by the
+// dimensioning analysis of §VII-A (Fig 6a / Fig 6b).
+#pragma once
+
+#include <cstdint>
+
+namespace acn {
+
+/// log(n choose k); 0 for k out of range conventions handled by caller.
+[[nodiscard]] double log_binomial(std::uint64_t n, std::uint64_t k);
+
+/// Binomial(n, p) point mass P{X = k}, computed in log space.
+[[nodiscard]] double binomial_pmf(std::uint64_t n, std::uint64_t k, double p);
+
+/// Binomial(n, p) CDF P{X <= k}, summed in log space term by term.
+[[nodiscard]] double binomial_cdf(std::uint64_t n, std::uint64_t k, double p);
+
+/// log(exp(a) + exp(b)) without overflow.
+[[nodiscard]] double log_add_exp(double a, double b);
+
+/// Clamps x into [lo, hi].
+[[nodiscard]] double clamp(double x, double lo, double hi);
+
+/// True if |a - b| <= eps (absolute tolerance).
+[[nodiscard]] bool nearly_equal(double a, double b, double eps = 1e-12);
+
+}  // namespace acn

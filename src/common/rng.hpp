@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation for the whole project.
+//
+// We deliberately avoid <random> distributions: their outputs are
+// implementation-defined, which would make tests and benches produce
+// different numbers on different standard libraries. Everything random in
+// this repository flows through Rng (xoshiro256** seeded via splitmix64),
+// so a (seed, parameters) pair identifies a run bit-for-bit on any platform.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace acn {
+
+/// xoshiro256** PRNG (Blackman & Vigna). Fast, 256-bit state, passes BigCrush.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0xACEDBEEFCAFEF00DULL) noexcept;
+
+  /// Next raw 64 random bits.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1) with 53-bit resolution.
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Unbiased (rejection).
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Standard normal deviate (Marsaglia polar method).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal deviate with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+  /// Samples k distinct indices from [0, n) uniformly (partial Fisher-Yates).
+  /// Requires k <= n. Returned order is random.
+  [[nodiscard]] std::vector<std::uint32_t> sample_without_replacement(
+      std::uint32_t n, std::uint32_t k);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_int(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-run streams).
+  [[nodiscard]] Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace acn

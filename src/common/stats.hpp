@@ -1,0 +1,62 @@
+// Summary statistics used by the simulation metrics and benches.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace acn {
+
+/// Online mean/variance accumulator (Welford). O(1) memory.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStat& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores all samples; supports exact quantiles. For bench-sized data only.
+class SampleSet {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  /// Exact quantile by linear interpolation; q in [0, 1]. Requires samples.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Empirical CDF over a fixed set of evaluation points.
+/// Used to cross-check the analytic dimensioning curves by Monte Carlo.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> values);
+  /// P{X <= x} under the empirical distribution.
+  [[nodiscard]] double at(double x) const;
+  [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+
+ private:
+  std::vector<double> values_;  // sorted
+};
+
+}  // namespace acn

@@ -1,0 +1,32 @@
+// Minimal fixed-width console table printer for the bench binaries, so every
+// regenerated paper table/figure prints aligned, diff-able rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace acn {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with the given precision.
+  void add_numeric_row(const std::vector<double>& cells, int precision = 4);
+
+  /// Renders with a header separator; every column padded to its widest cell.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for mixed-type rows).
+[[nodiscard]] std::string fmt(double value, int precision = 4);
+
+}  // namespace acn

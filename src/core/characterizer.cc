@@ -1,0 +1,228 @@
+#include "core/characterizer.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+#include "core/motion.hpp"
+
+namespace acn {
+
+Characterizer::Characterizer(const StatePair& state, Params params,
+                             CharacterizeOptions options)
+    : state_(state), params_(params), options_(options), oracle_(state, params) {
+  params_.validate();
+}
+
+Characterizer::Split Characterizer::split_neighbourhood(
+    DeviceId j, const std::vector<DeviceSet>& dense_j) {
+  Split split;
+  for (const DeviceSet& motion : dense_j) split.d = split.d.set_union(motion);
+  for (const DeviceId ell : split.d) {
+    if (ell == j) {
+      split.j = split.j.with(ell);  // j's own dense motions all contain j
+      continue;
+    }
+    bool all_contain_j = true;
+    for (const DeviceSet& motion : oracle_.dense_motions(ell)) {
+      if (!motion.contains(j)) {
+        all_contain_j = false;
+        break;
+      }
+    }
+    if (all_contain_j) {
+      split.j = split.j.with(ell);
+    } else {
+      split.l = split.l.with(ell);
+    }
+  }
+  return split;
+}
+
+Decision Characterizer::characterize(DeviceId j) {
+  if (!state_.is_abnormal(j)) {
+    throw std::invalid_argument("characterize: device " + std::to_string(j) +
+                                " is not in A_k");
+  }
+  Decision decision;
+  decision.maximal_motion_count = oracle_.maximal_motions(j).size();
+
+  // Theorem 5: no dense motion containing j  =>  isolated.
+  const std::vector<DeviceSet> dense_j = oracle_.dense_motions(j);
+  decision.dense_motion_count = dense_j.size();
+  if (dense_j.empty()) {
+    decision.cls = AnomalyClass::kIsolated;
+    decision.rule = DecisionRule::kTheorem5;
+    return decision;
+  }
+
+  // Theorem 6 (Algorithm 3): some maximal dense motion of j intersects
+  // J_k(j) in more than tau devices  =>  massive. (|M ∩ J| > tau gives the
+  // dense motion M ∩ J ⊆ J_k(j) required by the theorem, and conversely any
+  // dense B ⊆ J_k(j) extends to a maximal M in W-bar(j) with |M ∩ J| > tau.)
+  const Split split = split_neighbourhood(j, dense_j);
+  for (const DeviceSet& motion : dense_j) {
+    if (motion.intersection_size(split.j) > params_.tau) {
+      decision.cls = AnomalyClass::kMassive;
+      decision.rule = DecisionRule::kTheorem6;
+      return decision;
+    }
+  }
+
+  if (!options_.run_full_nsc) {
+    decision.cls = AnomalyClass::kUnresolved;
+    decision.rule = DecisionRule::kTheorem6Only;
+    return decision;
+  }
+
+  // Theorem 7 / Corollary 8 (Algorithms 4/5): search for a violating
+  // collection; its existence certifies "unresolved", its absence "massive".
+  const NscOutcome outcome = search_violating_collection(j, split.l);
+  decision.collections_tested = outcome.nodes;
+  if (outcome.exhausted) {
+    decision.cls = AnomalyClass::kUnresolved;  // safe side: never over-claims
+    decision.rule = DecisionRule::kBudgetExhausted;
+    decision.exact = false;
+  } else if (outcome.violating_found) {
+    decision.cls = AnomalyClass::kUnresolved;
+    decision.rule = DecisionRule::kCorollary8;
+  } else {
+    decision.cls = AnomalyClass::kMassive;
+    decision.rule = DecisionRule::kTheorem7;
+  }
+  return decision;
+}
+
+Characterizer::NscOutcome Characterizer::search_violating_collection(
+    DeviceId j, const DeviceSet& l) {
+  NscOutcome outcome;
+
+  // Every dense motion of j lives inside N(j) (its 2r-neighbourhood), so a
+  // collection element can only influence relation (4) through members it
+  // shares with N(j). A base with no such member is removable from any
+  // violating collection (dropping it keeps not-(4): the surviving motions
+  // of j are untouched), so it is pruned — exactly.
+  const std::vector<DeviceId>& neighbours = oracle_.neighbourhood(j);
+  const DeviceSet reach(std::vector<DeviceId>(neighbours.begin(), neighbours.end()));
+
+  // Candidate base sets: maximal dense motions of L-neighbours avoiding j.
+  std::vector<DeviceSet> bases;
+  for (const DeviceId ell : l) {
+    for (const DeviceSet& motion : oracle_.dense_motions(ell)) {
+      if (!motion.contains(j) && motion.intersection_size(reach) > 0) {
+        bases.push_back(motion);
+      }
+    }
+  }
+  std::sort(bases.begin(), bases.end());
+  bases.erase(std::unique(bases.begin(), bases.end()), bases.end());
+
+  // A set is usable in a violating collection only if it holds a device
+  // farther than 2r from j (negation of relation (5)); precompute per id.
+  const auto is_far = [&](DeviceId id) {
+    return state_.joint_distance(j, id) > params_.window();
+  };
+
+  // Depth-first search over base sets; at each node the collection chosen so
+  // far is tested against relation (4) via the oracle (memoized, early-exit).
+  const std::function<bool(std::size_t, const DeviceSet&)> dfs =
+      [&](std::size_t index, const DeviceSet& used) -> bool {
+    if (outcome.exhausted) return false;
+    ++outcome.nodes;
+    if (outcome.nodes > options_.node_budget) {
+      outcome.exhausted = true;
+      return false;
+    }
+    // not-(4): no dense motion containing j survives outside `used` — the
+    // collection built so far is violating (not-(5) held for each pick).
+    if (!oracle_.has_dense_motion_avoiding(j, used)) return true;
+    if (index == bases.size()) return false;
+
+    // Branch 1: carve a qualifying subset out of this base's unused members
+    // (tried before skipping: witnesses usually involve the early bases).
+    // Subsets must be dense (> tau), contain a far device, an L-neighbour,
+    // and a device of N(j) (the exact-effect prune above, member level).
+    std::vector<DeviceId> avail;
+    for (const DeviceId id : bases[index]) {
+      if (id != j && !used.contains(id)) avail.push_back(id);
+    }
+    const std::size_t m = avail.size();
+    if (m <= params_.tau) return dfs(index + 1, used);
+
+    // Enumerate combinations per size, largest first (they prune relation
+    // (4) fastest and any violating subset stays available at smaller
+    // sizes). Each candidate combination is charged against the budget.
+    for (std::size_t s = m; s > params_.tau; --s) {
+      std::vector<std::size_t> pick(s);
+      for (std::size_t i = 0; i < s; ++i) pick[i] = i;
+      for (;;) {
+        ++outcome.nodes;
+        if (outcome.nodes > options_.node_budget) {
+          outcome.exhausted = true;
+          return false;
+        }
+        bool far_member = false;
+        bool l_member = false;
+        bool effect = false;
+        std::vector<DeviceId> members;
+        members.reserve(s);
+        for (const std::size_t idx : pick) {
+          const DeviceId id = avail[idx];
+          members.push_back(id);
+          far_member = far_member || is_far(id);
+          l_member = l_member || l.contains(id);
+          effect = effect || reach.contains(id);
+        }
+        if (far_member && l_member && effect) {
+          if (dfs(index + 1, used.set_union(DeviceSet(std::move(members))))) {
+            return true;
+          }
+          if (outcome.exhausted) return false;
+        }
+        // Next combination in lexicographic order.
+        std::size_t i = s;
+        while (i > 0 && pick[i - 1] == m - s + i - 1) --i;
+        if (i == 0) break;
+        ++pick[i - 1];
+        for (std::size_t k = i; k < s; ++k) pick[k] = pick[k - 1] + 1;
+      }
+    }
+    // Branch 2: skip this base set entirely.
+    return dfs(index + 1, used);
+  };
+
+  outcome.violating_found = dfs(0, DeviceSet{});
+  return outcome;
+}
+
+CharacterizationSets Characterizer::characterize_all() {
+  CharacterizationSets sets;
+  for (const DeviceId j : state_.abnormal()) {
+    switch (characterize(j).cls) {
+      case AnomalyClass::kIsolated:
+        sets.isolated = sets.isolated.with(j);
+        break;
+      case AnomalyClass::kMassive:
+        sets.massive = sets.massive.with(j);
+        break;
+      case AnomalyClass::kUnresolved:
+        sets.unresolved = sets.unresolved.with(j);
+        break;
+    }
+  }
+  return sets;
+}
+
+DeviceSet Characterizer::neighbourhood_d(DeviceId j) {
+  return split_neighbourhood(j, oracle_.dense_motions(j)).d;
+}
+
+DeviceSet Characterizer::neighbourhood_j(DeviceId j) {
+  return split_neighbourhood(j, oracle_.dense_motions(j)).j;
+}
+
+DeviceSet Characterizer::neighbourhood_l(DeviceId j) {
+  return split_neighbourhood(j, oracle_.dense_motions(j)).l;
+}
+
+}  // namespace acn

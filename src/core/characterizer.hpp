@@ -1,0 +1,127 @@
+// Local characterization of anomalies — the paper's primary contribution.
+//
+// Implements Algorithm 3 (characterize) and Algorithms 4/5 (full NSC):
+//   * Theorem 5  — j in I_k  <=>  W-bar_k(j) is empty;
+//   * Theorem 6  — sufficient condition for j in M_k: some maximal dense
+//     motion of j intersects J_k(j) in more than tau devices;
+//   * Theorem 7  — NSC for j in M_k: no collection C of pairwise disjoint
+//     dense motions of L_k(j)-neighbours (avoiding j) simultaneously breaks
+//     relation (4) (some dense motion of j survives outside the union of C)
+//     and relation (5) (some member of C is consistent with j);
+//   * Corollary 8 — j in U_k <=> such a *violating* collection exists.
+//
+// Everything is computed from trajectories within 4r of j (neighbourhoods
+// of neighbours), matching the locality claim at the end of §V.
+//
+// The Theorem 7 search: a violating collection only ever contains sets B
+// with (a) |B| > tau, (b) B a subset of some maximal dense motion M of an
+// L_k(j)-neighbour with j not in M (any dense motion extends to a maximal
+// one, which cannot contain j because B holds a point farther than 2r from
+// j — see (c)), (c) at least one member farther than 2r from j in the joint
+// space (otherwise B + {j} is a motion and relation (5) holds), and (d) at
+// least one member of L_k(j) (Theorem 7 draws candidate sets from W_k(ell),
+// ell in L_k(j), whose members contain ell). The search walks the maximal
+// candidate sets, at each step either skipping one or carving a qualifying
+// subset out of its not-yet-used members, testing not-relation-(4) at every
+// node. Subsets (not just whole sets) must be explored: two overlapping
+// maximal motions may both contribute only if trimmed to disjoint parts.
+// A node budget bounds the worst case; hitting it is reported, never silent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/device_set.hpp"
+#include "core/motion_oracle.hpp"
+#include "core/params.hpp"
+#include "core/partition_enumerator.hpp"
+#include "core/state.hpp"
+
+namespace acn {
+
+/// Which condition produced the decision (Table III buckets by this).
+enum class DecisionRule : std::uint8_t {
+  kTheorem5,         ///< isolated: no dense motion at all
+  kTheorem6,         ///< massive via the cheap sufficient condition
+  kTheorem7,         ///< massive via the full NSC (search exhausted, no witness)
+  kCorollary8,       ///< unresolved: a violating collection was found
+  kTheorem6Only,     ///< unresolved *by Algorithm 3* (full NSC not requested)
+  kBudgetExhausted,  ///< search budget hit; reported as unresolved (safe side)
+};
+
+[[nodiscard]] constexpr const char* to_string(DecisionRule rule) noexcept {
+  switch (rule) {
+    case DecisionRule::kTheorem5: return "Theorem5";
+    case DecisionRule::kTheorem6: return "Theorem6";
+    case DecisionRule::kTheorem7: return "Theorem7";
+    case DecisionRule::kCorollary8: return "Corollary8";
+    case DecisionRule::kTheorem6Only: return "Theorem6Only";
+    case DecisionRule::kBudgetExhausted: return "BudgetExhausted";
+  }
+  return "?";
+}
+
+struct CharacterizeOptions {
+  /// Run Algorithms 4/5 (Theorem 7 NSC) when Algorithm 3 says "unresolved".
+  bool run_full_nsc = true;
+  /// Upper bound on Theorem-7 search nodes per device.
+  std::uint64_t node_budget = 4'000'000;
+};
+
+/// Outcome of characterizing one device, with the work accounting the
+/// evaluation section reports (Table III).
+struct Decision {
+  AnomalyClass cls = AnomalyClass::kUnresolved;
+  DecisionRule rule = DecisionRule::kTheorem5;
+  bool exact = true;  ///< false only when the node budget was exhausted
+
+  std::size_t maximal_motion_count = 0;     ///< |M(j)|   (cost metric, I_k)
+  std::size_t dense_motion_count = 0;       ///< |W-bar(j)| (cost metric, M_k/Thm6)
+  std::uint64_t collections_tested = 0;     ///< Theorem-7 search nodes
+};
+
+class Characterizer {
+ public:
+  /// `state` must outlive the characterizer.
+  explicit Characterizer(const StatePair& state, Params params,
+                         CharacterizeOptions options = {});
+
+  /// Characterizes one abnormal device (throws if j is not in A_k).
+  [[nodiscard]] Decision characterize(DeviceId j);
+
+  /// Characterizes every device of A_k and buckets them.
+  [[nodiscard]] CharacterizationSets characterize_all();
+
+  /// D_k(j): union of the maximal dense motions containing j.
+  [[nodiscard]] DeviceSet neighbourhood_d(DeviceId j);
+  /// J_k(j): members of D_k(j) whose every maximal dense motion contains j.
+  [[nodiscard]] DeviceSet neighbourhood_j(DeviceId j);
+  /// L_k(j): members of D_k(j) with a maximal dense motion avoiding j.
+  [[nodiscard]] DeviceSet neighbourhood_l(DeviceId j);
+
+  [[nodiscard]] MotionOracle& oracle() noexcept { return oracle_; }
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+ private:
+  struct Split {
+    DeviceSet d;  ///< D_k(j)
+    DeviceSet j;  ///< J_k(j)
+    DeviceSet l;  ///< L_k(j)
+  };
+  [[nodiscard]] Split split_neighbourhood(DeviceId j,
+                                          const std::vector<DeviceSet>& dense_j);
+
+  struct NscOutcome {
+    bool violating_found = false;
+    bool exhausted = false;
+    std::uint64_t nodes = 0;
+  };
+  [[nodiscard]] NscOutcome search_violating_collection(DeviceId j, const DeviceSet& l);
+
+  const StatePair& state_;
+  Params params_;
+  CharacterizeOptions options_;
+  MotionOracle oracle_;
+};
+
+}  // namespace acn

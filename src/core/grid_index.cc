@@ -1,0 +1,74 @@
+#include "core/grid_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace acn {
+namespace {
+
+// Packs per-dimension cell coordinates into one 64-bit key. With cell sides
+// >= 1e-9 and coordinates in [0,1], per-dimension indices fit comfortably in
+// the bits allotted per dimension (64 / d >= 8 bits for d <= 8).
+std::uint64_t pack(const std::vector<std::int64_t>& cell_coords) noexcept {
+  std::uint64_t key = 1469598103934665603ULL;
+  for (const std::int64_t c : cell_coords) {
+    key ^= static_cast<std::uint64_t>(c) + 0x9E3779B97F4A7C15ULL;
+    key *= 1099511628211ULL;
+  }
+  return key;
+}
+
+}  // namespace
+
+GridIndex::GridIndex(const StatePair& state, const DeviceSet& members, double cell)
+    : state_(state), cell_(cell), member_count_(members.size()) {
+  if (cell <= 0.0) throw std::invalid_argument("GridIndex: cell must be > 0");
+  cells_.reserve(members.size());
+  for (const DeviceId j : members) {
+    cells_[cell_key(state_.curr_pos(j))].push_back(j);
+  }
+}
+
+std::uint64_t GridIndex::cell_key(const Point& curr_position) const noexcept {
+  std::vector<std::int64_t> coords(curr_position.dim());
+  for (std::size_t i = 0; i < curr_position.dim(); ++i) {
+    coords[i] = static_cast<std::int64_t>(std::floor(curr_position[i] / cell_));
+  }
+  return pack(coords);
+}
+
+std::vector<DeviceId> GridIndex::within(DeviceId j, double radius) const {
+  const Point& centre = state_.curr_pos(j);
+  const std::size_t d = centre.dim();
+  const auto reach = static_cast<std::int64_t>(std::ceil(radius / cell_));
+
+  std::vector<std::int64_t> base(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    base[i] = static_cast<std::int64_t>(std::floor(centre[i] / cell_));
+  }
+
+  std::vector<DeviceId> out;
+  // Odometer over the (2*reach+1)^d neighbouring cells.
+  std::vector<std::int64_t> offset(d, -reach);
+  for (;;) {
+    std::vector<std::int64_t> cell_coords(d);
+    for (std::size_t i = 0; i < d; ++i) cell_coords[i] = base[i] + offset[i];
+    if (const auto it = cells_.find(pack(cell_coords)); it != cells_.end()) {
+      for (const DeviceId candidate : it->second) {
+        if (state_.joint_distance(j, candidate) <= radius) out.push_back(candidate);
+      }
+    }
+    std::size_t i = 0;
+    while (i < d && ++offset[i] > reach) {
+      offset[i] = -reach;
+      ++i;
+    }
+    if (i == d) break;
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace acn

@@ -1,0 +1,42 @@
+// Uniform-grid spatial index over the abnormal devices, supporting the
+// neighbourhood queries of the local algorithms: N(j) = devices within 2r of
+// j in the joint space (the paper shows trajectories within 4r of a device
+// are all it ever needs — two grid hops).
+//
+// The grid is built on *current* positions (cell side = 2r) and candidate
+// hits are filtered by exact joint distance, so correctness never depends on
+// the grid geometry — only speed does.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/device_set.hpp"
+#include "core/state.hpp"
+
+namespace acn {
+
+class GridIndex {
+ public:
+  /// Indexes `members` (typically A_k) of `state` with cell side `cell`.
+  /// Requires cell > 0.
+  GridIndex(const StatePair& state, const DeviceSet& members, double cell);
+
+  /// All indexed devices ell with joint Chebyshev distance(ell, j) <= radius,
+  /// including j itself when indexed. Sorted by id. The query device does not
+  /// have to be a member. `radius` may exceed the cell size (4r queries).
+  [[nodiscard]] std::vector<DeviceId> within(DeviceId j, double radius) const;
+
+  [[nodiscard]] std::size_t member_count() const noexcept { return member_count_; }
+
+ private:
+  [[nodiscard]] std::uint64_t cell_key(const Point& curr_position) const noexcept;
+
+  const StatePair& state_;
+  double cell_;
+  std::size_t member_count_;
+  std::unordered_map<std::uint64_t, std::vector<DeviceId>> cells_;
+};
+
+}  // namespace acn

@@ -1,0 +1,88 @@
+#include "core/motion.hpp"
+
+#include <limits>
+
+namespace acn {
+
+JointBox::JointBox(std::size_t joint_dim) noexcept : dim_(joint_dim) {
+  lo_.fill(std::numeric_limits<double>::infinity());
+  hi_.fill(-std::numeric_limits<double>::infinity());
+}
+
+void JointBox::add(const Point& joint_position) noexcept {
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const double x = joint_position[i];
+    if (x < lo_[i]) lo_[i] = x;
+    if (x > hi_[i]) hi_[i] = x;
+  }
+  ++count_;
+}
+
+double JointBox::side() const noexcept {
+  if (count_ < 2) return 0.0;
+  double best = 0.0;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const double extent = hi_[i] - lo_[i];
+    if (extent > best) best = extent;
+  }
+  return best;
+}
+
+bool JointBox::within(double window) const noexcept {
+  if (count_ < 2) return true;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    if (hi_[i] - lo_[i] > window) return false;
+  }
+  return true;
+}
+
+bool JointBox::would_fit(const Point& joint_position, double window) const noexcept {
+  if (count_ == 0) return true;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const double x = joint_position[i];
+    const double lo = x < lo_[i] ? x : lo_[i];
+    const double hi = x > hi_[i] ? x : hi_[i];
+    if (hi - lo > window) return false;
+  }
+  return true;
+}
+
+bool is_r_consistent(const Snapshot& snapshot, const DeviceSet& set, double r) {
+  JointBox box(snapshot.dim());
+  for (const DeviceId j : set) box.add(snapshot[j]);
+  return box.within(2.0 * r);
+}
+
+bool has_consistent_motion(const StatePair& state, const DeviceSet& set, double r) {
+  JointBox box(state.joint_dim());
+  for (const DeviceId j : set) box.add(state.joint(j));
+  return box.within(2.0 * r);
+}
+
+double joint_diameter(const StatePair& state, const DeviceSet& set) {
+  JointBox box(state.joint_dim());
+  for (const DeviceId j : set) box.add(state.joint(j));
+  return box.side();
+}
+
+bool motion_with_extra(const StatePair& state, const DeviceSet& set, DeviceId extra,
+                       double r) {
+  JointBox box(state.joint_dim());
+  for (const DeviceId j : set) box.add(state.joint(j));
+  if (!box.within(2.0 * r)) return false;
+  return box.would_fit(state.joint(extra), 2.0 * r);
+}
+
+bool is_maximal_motion_in(const StatePair& state, const DeviceSet& set,
+                          std::span<const DeviceId> universe, double r) {
+  if (!has_consistent_motion(state, set, r)) return false;
+  JointBox box(state.joint_dim());
+  for (const DeviceId j : set) box.add(state.joint(j));
+  for (const DeviceId candidate : universe) {
+    if (set.contains(candidate)) continue;
+    if (box.would_fit(state.joint(candidate), 2.0 * r)) return false;
+  }
+  return true;
+}
+
+}  // namespace acn

@@ -1,0 +1,192 @@
+#include "core/motion_oracle.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+#include "core/motion.hpp"
+
+namespace acn {
+namespace {
+
+constexpr double kMinCell = 1e-9;  // grid degenerates gracefully when r ~ 0
+
+}  // namespace
+
+MotionOracle::MotionOracle(const StatePair& state, Params params)
+    : state_(state),
+      params_(params),
+      grid_(state, state.abnormal(), std::max(params.window(), kMinCell)) {
+  params_.validate();
+}
+
+const std::vector<DeviceId>& MotionOracle::neighbourhood(DeviceId j) {
+  if (const auto it = neighbourhood_memo_.find(j); it != neighbourhood_memo_.end()) {
+    return it->second;
+  }
+  ++counters_.neighbourhood_queries;
+  auto neighbours = grid_.within(j, params_.window());
+  return neighbourhood_memo_.emplace(j, std::move(neighbours)).first->second;
+}
+
+const std::vector<DeviceSet>& MotionOracle::maximal_motions(DeviceId j) {
+  if (const auto it = motions_memo_.find(j); it != motions_memo_.end()) {
+    return it->second;
+  }
+  if (!state_.is_abnormal(j)) {
+    throw std::invalid_argument("maximal_motions: device " + std::to_string(j) +
+                                " is not in A_k");
+  }
+  ++counters_.enumeration_calls;
+  auto motions = enumerate(neighbourhood(j), j);
+  return motions_memo_.emplace(j, std::move(motions)).first->second;
+}
+
+std::vector<DeviceSet> MotionOracle::dense_motions(DeviceId j) {
+  std::vector<DeviceSet> dense;
+  for (const DeviceSet& motion : maximal_motions(j)) {
+    if (is_dense(motion, params_.tau)) dense.push_back(motion);
+  }
+  return dense;
+}
+
+std::vector<DeviceSet> MotionOracle::maximal_motions_excluding(
+    DeviceId j, const DeviceSet& removed) {
+  std::vector<DeviceId> pool;
+  for (const DeviceId candidate : neighbourhood(j)) {
+    if (!removed.contains(candidate)) pool.push_back(candidate);
+  }
+  ++counters_.enumeration_calls;
+  return enumerate(std::move(pool), j);
+}
+
+bool MotionOracle::has_dense_motion_avoiding(DeviceId j, const DeviceSet& removed) {
+  // Key mixes the device id into the removed-set hash; collisions would only
+  // be possible across distinct (j, removed) pairs hashing identically, which
+  // FNV over <= 32-element id lists makes negligible — and the memo is
+  // per-oracle, so a collision could only arise within one A_k analysis.
+  const std::uint64_t key = removed.hash() ^ (0x9E3779B97F4A7C15ULL * (j + 1));
+  if (const auto it = avoid_memo_.find(key); it != avoid_memo_.end()) {
+    return it->second;
+  }
+  std::vector<DeviceId> pool;
+  for (const DeviceId candidate : neighbourhood(j)) {
+    if (!removed.contains(candidate)) pool.push_back(candidate);
+  }
+  const bool found = exists_dense_cover(std::move(pool), j);
+  avoid_memo_.emplace(key, found);
+  return found;
+}
+
+bool MotionOracle::exists_dense_cover(std::vector<DeviceId> pool, DeviceId anchor) {
+  if (pool.size() <= params_.tau) return false;
+  const double window = params_.window();
+
+  // Same canonical-window slide as `enumerate`, but returns at the first
+  // window whose cover is dense — no maximal-family materialization.
+  const std::function<bool(std::span<const DeviceId>, std::size_t)> slide_any =
+      [&](std::span<const DeviceId> active, std::size_t dim_index) -> bool {
+    if (active.size() <= params_.tau) return false;  // can only shrink further
+    if (dim_index == state_.joint_dim()) return true;
+
+    std::vector<double> edges;
+    edges.reserve(active.size());
+    const double ax = state_.joint(anchor)[dim_index];
+    for (const DeviceId id : active) {
+      const double x = state_.joint(id)[dim_index];
+      if (x >= ax - window && x <= ax) edges.push_back(x);
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+    std::vector<DeviceId> next;
+    next.reserve(active.size());
+    for (const double lower : edges) {
+      ++counters_.windows_explored;
+      next.clear();
+      for (const DeviceId id : active) {
+        const double x = state_.joint(id)[dim_index];
+        if (x >= lower && x <= lower + window) next.push_back(id);
+      }
+      if (slide_any(next, dim_index + 1)) return true;
+    }
+    return false;
+  };
+  return slide_any(pool, 0);
+}
+
+std::vector<DeviceSet> MotionOracle::maximal_motions_of_pool(
+    std::vector<DeviceId> pool) const {
+  return enumerate(std::move(pool), std::nullopt);
+}
+
+std::vector<DeviceSet> MotionOracle::maximal_motions_in_pool(
+    DeviceId j, std::vector<DeviceId> pool) const {
+  const auto it = std::find(pool.begin(), pool.end(), j);
+  if (it == pool.end()) {
+    throw std::invalid_argument("maximal_motions_in_pool: anchor not in pool");
+  }
+  return enumerate(std::move(pool), j);
+}
+
+std::vector<DeviceSet> MotionOracle::enumerate(std::vector<DeviceId> pool,
+                                               std::optional<DeviceId> anchor) const {
+  if (anchor.has_value()) {
+    // Only devices within 2r of the anchor can share a motion with it.
+    std::vector<DeviceId> close;
+    close.reserve(pool.size());
+    for (const DeviceId candidate : pool) {
+      if (state_.joint_distance(*anchor, candidate) <= params_.window()) {
+        close.push_back(candidate);
+      }
+    }
+    pool = std::move(close);
+  }
+  std::sort(pool.begin(), pool.end());
+  if (pool.empty()) return {};
+
+  std::vector<DeviceSet> covers;
+  slide(pool, 0, anchor, covers);
+  return keep_maximal(std::move(covers));
+}
+
+void MotionOracle::slide(std::span<const DeviceId> active, std::size_t dim_index,
+                         std::optional<DeviceId> anchor,
+                         std::vector<DeviceSet>& covers) const {
+  if (active.empty()) return;
+  if (dim_index == state_.joint_dim()) {
+    ++counters_.covers_generated;
+    covers.emplace_back(std::vector<DeviceId>(active.begin(), active.end()));
+    return;
+  }
+  const double window = params_.window();
+
+  // Candidate lower edges: coordinates of active points; when anchored, only
+  // those within [x(anchor) - 2r, x(anchor)] so the window covers the anchor.
+  std::vector<double> edges;
+  edges.reserve(active.size());
+  for (const DeviceId id : active) {
+    const double x = state_.joint(id)[dim_index];
+    if (anchor.has_value()) {
+      const double ax = state_.joint(*anchor)[dim_index];
+      if (x < ax - window || x > ax) continue;
+    }
+    edges.push_back(x);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  std::vector<DeviceId> next;
+  next.reserve(active.size());
+  for (const double lower : edges) {
+    ++counters_.windows_explored;
+    next.clear();
+    for (const DeviceId id : active) {
+      const double x = state_.joint(id)[dim_index];
+      if (x >= lower && x <= lower + window) next.push_back(id);
+    }
+    slide(next, dim_index + 1, anchor, covers);
+  }
+}
+
+}  // namespace acn

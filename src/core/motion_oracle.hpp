@@ -1,0 +1,108 @@
+// MotionOracle: enumeration of maximal r-consistent motions (the paper's
+// Algorithm 2, `maxMotions`).
+//
+// Key observation (see DESIGN.md): a set B has an r-consistent motion in
+// [k-1, k] iff the bounding box of its joint positions has side <= 2r in
+// every dimension. Every maximal motion containing device j is the exact
+// cover of a "canonical window": an axis-aligned joint-space box of side 2r
+// whose lower edge in each dimension sits on the coordinate of some
+// neighbourhood point within [x_dim(j) - 2r, x_dim(j)]. The oracle
+// recursively slides such windows dimension by dimension — the same sliding
+// performed by the pseudo-code of Algorithm 2 — collects window covers, and
+// keeps the inclusion-maximal ones.
+//
+// The oracle also answers the derived queries used by Algorithms 3-5:
+// dense motions W-bar_k(j), motions within a restricted candidate set
+// (needed by the Theorem 7 search), and motions over arbitrary point sets
+// (needed to validate anomaly partitions). All queries touch only devices
+// within 2r of the argument — the locality the paper proves sufficient.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/device_set.hpp"
+#include "core/grid_index.hpp"
+#include "core/params.hpp"
+#include "core/state.hpp"
+
+namespace acn {
+
+/// Work counters; the evaluation (Table III) reports operation counts.
+struct OracleCounters {
+  std::uint64_t neighbourhood_queries = 0;  ///< grid lookups (message analogue)
+  std::uint64_t windows_explored = 0;       ///< canonical windows visited
+  std::uint64_t covers_generated = 0;       ///< window covers materialized
+  std::uint64_t enumeration_calls = 0;      ///< maxMotions invocations (pre-memo)
+};
+
+class MotionOracle {
+ public:
+  /// The oracle operates on the abnormal set A_k of `state`. Both referenced
+  /// objects must outlive the oracle.
+  MotionOracle(const StatePair& state, Params params);
+
+  /// N(j): abnormal devices within joint distance 2r of j (j included when
+  /// abnormal). Memoized.
+  [[nodiscard]] const std::vector<DeviceId>& neighbourhood(DeviceId j);
+
+  /// M(j): all maximal r-consistent motions containing j (Algorithm 2).
+  /// Requires j in A_k. Memoized; deterministic (sorted) order.
+  [[nodiscard]] const std::vector<DeviceSet>& maximal_motions(DeviceId j);
+
+  /// W-bar_k(j): maximal motions containing j that are tau-dense.
+  [[nodiscard]] std::vector<DeviceSet> dense_motions(DeviceId j);
+
+  /// Maximal motions containing j within A_k \ removed. Used by the
+  /// Theorem 7 search, where collections of dense motions are "removed".
+  [[nodiscard]] std::vector<DeviceSet> maximal_motions_excluding(
+      DeviceId j, const DeviceSet& removed);
+
+  /// True iff a tau-dense motion containing j exists within A_k \ removed —
+  /// relation (4) of Theorem 7 (its negation, precisely). Memoized per j.
+  /// Short-circuits at the first dense window cover: it never materializes
+  /// the maximal family (this query dominates the Theorem-7 search cost).
+  [[nodiscard]] bool has_dense_motion_avoiding(DeviceId j, const DeviceSet& removed);
+
+  /// All maximal motions within an arbitrary pool of abnormal devices, no
+  /// anchoring device. Used by the partition validity checker (condition C1)
+  /// and by Algorithm 1, where maximality is relative to the remaining pool.
+  [[nodiscard]] std::vector<DeviceSet> maximal_motions_of_pool(
+      std::vector<DeviceId> pool) const;
+
+  /// Maximal motions containing j *relative to a pool* (Algorithm 1's
+  /// "maximal r-consistent motion in S"). Requires j in pool.
+  [[nodiscard]] std::vector<DeviceSet> maximal_motions_in_pool(
+      DeviceId j, std::vector<DeviceId> pool) const;
+
+  [[nodiscard]] const OracleCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] const StatePair& state() const noexcept { return state_; }
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+ private:
+  /// Canonical-window enumeration over `pool`; when `anchor` is set, windows
+  /// are constrained to cover the anchor (maximal motions containing it).
+  [[nodiscard]] std::vector<DeviceSet> enumerate(std::vector<DeviceId> pool,
+                                                 std::optional<DeviceId> anchor) const;
+
+  /// Early-exit variant: true iff some window covering `anchor` within
+  /// `pool` holds more than tau devices at every dimension.
+  [[nodiscard]] bool exists_dense_cover(std::vector<DeviceId> pool, DeviceId anchor);
+
+  void slide(std::span<const DeviceId> active, std::size_t dim_index,
+             std::optional<DeviceId> anchor,
+             std::vector<DeviceSet>& covers) const;
+
+  const StatePair& state_;
+  Params params_;
+  GridIndex grid_;
+  mutable OracleCounters counters_;
+  std::unordered_map<DeviceId, std::vector<DeviceId>> neighbourhood_memo_;
+  std::unordered_map<DeviceId, std::vector<DeviceSet>> motions_memo_;
+  // Memo for has_dense_motion_avoiding keyed by (device, removed-set hash).
+  std::unordered_map<std::uint64_t, bool> avoid_memo_;
+};
+
+}  // namespace acn

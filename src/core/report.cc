@@ -1,0 +1,62 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace acn {
+
+std::string CharacterizationReport::to_text() const {
+  std::ostringstream os;
+  os << "abnormal: " << decisions.size() << "  massive: " << sets.massive.size()
+     << "  isolated: " << sets.isolated.size()
+     << "  unresolved: " << sets.unresolved.size() << "\n";
+  Table table({"device", "class", "rule", "exact", "|M(j)|", "|W(j)|", "collections"});
+  for (const auto& [device, decision] : decisions) {
+    table.add_row({std::to_string(device), to_string(decision.cls),
+                   to_string(decision.rule), decision.exact ? "yes" : "no",
+                   std::to_string(decision.maximal_motion_count),
+                   std::to_string(decision.dense_motion_count),
+                   std::to_string(decision.collections_tested)});
+  }
+  os << table.to_string();
+  return os.str();
+}
+
+std::string CharacterizationReport::to_csv() const {
+  CsvWriter csv({"device", "class", "rule", "exact", "maximal_motions",
+                 "dense_motions", "collections_tested"});
+  for (const auto& [device, decision] : decisions) {
+    csv.add_row({std::to_string(device), to_string(decision.cls),
+                 to_string(decision.rule), decision.exact ? "1" : "0",
+                 std::to_string(decision.maximal_motion_count),
+                 std::to_string(decision.dense_motion_count),
+                 std::to_string(decision.collections_tested)});
+  }
+  return csv.to_string();
+}
+
+CharacterizationReport make_report(const StatePair& state, Params params,
+                                   CharacterizeOptions options) {
+  CharacterizationReport report;
+  Characterizer characterizer(state, params, options);
+  for (const DeviceId j : state.abnormal()) {
+    const Decision decision = characterizer.characterize(j);
+    report.decisions.emplace(j, decision);
+    switch (decision.cls) {
+      case AnomalyClass::kIsolated:
+        report.sets.isolated = report.sets.isolated.with(j);
+        break;
+      case AnomalyClass::kMassive:
+        report.sets.massive = report.sets.massive.with(j);
+        break;
+      case AnomalyClass::kUnresolved:
+        report.sets.unresolved = report.sets.unresolved.with(j);
+        break;
+    }
+  }
+  return report;
+}
+
+}  // namespace acn

@@ -1,0 +1,42 @@
+#include "core/state.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace acn {
+
+Snapshot::Snapshot(std::vector<Point> positions) : positions_(std::move(positions)) {
+  if (positions_.empty()) {
+    throw std::invalid_argument("Snapshot: at least one device required");
+  }
+  dim_ = positions_[0].dim();
+  for (std::size_t j = 0; j < positions_.size(); ++j) {
+    if (positions_[j].dim() != dim_) {
+      throw std::invalid_argument("Snapshot: inconsistent dimension at device " +
+                                  std::to_string(j));
+    }
+    if (!positions_[j].in_unit_box()) {
+      throw std::invalid_argument("Snapshot: device " + std::to_string(j) +
+                                  " outside [0,1]^d: " + positions_[j].to_string());
+    }
+  }
+}
+
+StatePair::StatePair(Snapshot prev, Snapshot curr, DeviceSet abnormal)
+    : prev_(std::move(prev)), curr_(std::move(curr)), abnormal_(std::move(abnormal)) {
+  if (prev_.size() != curr_.size()) {
+    throw std::invalid_argument("StatePair: snapshots must have the same size");
+  }
+  if (prev_.dim() != curr_.dim()) {
+    throw std::invalid_argument("StatePair: snapshots must have the same dimension");
+  }
+  if (!abnormal_.empty() && abnormal_[abnormal_.size() - 1] >= prev_.size()) {
+    throw std::invalid_argument("StatePair: abnormal set references unknown device");
+  }
+  joint_.reserve(n());
+  for (DeviceId j = 0; j < n(); ++j) {
+    joint_.push_back(Point::concat(prev_[j], curr_[j]));
+  }
+}
+
+}  // namespace acn

@@ -1,0 +1,76 @@
+// System states (§III-A): S_k is the vector of device positions in the QoS
+// space at discrete time k. StatePair bundles two successive states S_{k-1},
+// S_k together with the abnormal set A_k (devices whose error-detection
+// function fired in [k-1, k], Definition 5) — exactly the input of every
+// algorithm in the paper.
+#pragma once
+
+#include <vector>
+
+#include "common/device_set.hpp"
+#include "core/point.hpp"
+
+namespace acn {
+
+/// Positions of all devices at one discrete time. Immutable once built.
+class Snapshot {
+ public:
+  /// Builds from per-device positions; all points must share the same
+  /// dimension and lie in [0,1]^d. Throws std::invalid_argument otherwise.
+  explicit Snapshot(std::vector<Point> positions);
+
+  [[nodiscard]] std::size_t size() const noexcept { return positions_.size(); }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] const Point& operator[](DeviceId j) const noexcept {
+    return positions_[j];
+  }
+  [[nodiscard]] const std::vector<Point>& positions() const noexcept {
+    return positions_;
+  }
+
+ private:
+  std::vector<Point> positions_;
+  std::size_t dim_ = 0;
+};
+
+/// Two successive system states plus the abnormal set A_k.
+class StatePair {
+ public:
+  /// Throws std::invalid_argument if the snapshots disagree in size or
+  /// dimension, or if abnormal contains an out-of-range device id.
+  StatePair(Snapshot prev, Snapshot curr, DeviceSet abnormal);
+
+  [[nodiscard]] std::size_t n() const noexcept { return prev_.size(); }
+  [[nodiscard]] std::size_t dim() const noexcept { return prev_.dim(); }
+  /// Dimension of the joint space E x E.
+  [[nodiscard]] std::size_t joint_dim() const noexcept { return 2 * dim(); }
+
+  [[nodiscard]] const Snapshot& prev() const noexcept { return prev_; }
+  [[nodiscard]] const Snapshot& curr() const noexcept { return curr_; }
+  [[nodiscard]] const Point& prev_pos(DeviceId j) const noexcept { return prev_[j]; }
+  [[nodiscard]] const Point& curr_pos(DeviceId j) const noexcept { return curr_[j]; }
+
+  /// Joint position (coords at k-1 concatenated with coords at k); cached.
+  [[nodiscard]] const Point& joint(DeviceId j) const noexcept { return joint_[j]; }
+
+  /// A_k: devices with an abnormal trajectory in [k-1, k].
+  [[nodiscard]] const DeviceSet& abnormal() const noexcept { return abnormal_; }
+  [[nodiscard]] bool is_abnormal(DeviceId j) const noexcept {
+    return abnormal_.contains(j);
+  }
+
+  /// Joint Chebyshev distance between devices a and b: the max of their
+  /// distances at k-1 and at k. The pair {a, b} can share an r-consistent
+  /// motion iff this is <= 2r.
+  [[nodiscard]] double joint_distance(DeviceId a, DeviceId b) const noexcept {
+    return chebyshev(joint_[a], joint_[b]);
+  }
+
+ private:
+  Snapshot prev_;
+  Snapshot curr_;
+  DeviceSet abnormal_;
+  std::vector<Point> joint_;
+};
+
+}  // namespace acn

@@ -1,0 +1,56 @@
+#include "detect/cusum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace acn {
+
+CusumDetector::CusumDetector(Config config) : config_(config) {
+  if (config.slack < 0.0 || config.threshold <= 0.0 || config.warmup < 2) {
+    throw std::invalid_argument("CusumDetector: bad configuration");
+  }
+}
+
+bool CusumDetector::observe(double sample) {
+  ++seen_;
+  if (seen_ <= config_.warmup) {
+    const double delta = sample - mean_;
+    mean_ += delta / seen_;
+    m2_ += delta * (sample - mean_);
+    if (seen_ == config_.warmup) {
+      sigma_ = std::max(std::sqrt(m2_ / (seen_ - 1)), config_.min_sigma);
+    }
+    return false;
+  }
+  const double z = (sample - mean_) / sigma_;
+  s_pos_ = std::max(0.0, s_pos_ + z - config_.slack);
+  s_neg_ = std::max(0.0, s_neg_ - z - config_.slack);
+  if (s_pos_ > config_.threshold || s_neg_ > config_.threshold) {
+    s_pos_ = 0.0;  // restart after alarm (standard practice)
+    s_neg_ = 0.0;
+    return true;
+  }
+  return false;
+}
+
+void CusumDetector::reset() {
+  seen_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+  sigma_ = 0.0;
+  s_pos_ = 0.0;
+  s_neg_ = 0.0;
+}
+
+std::string CusumDetector::name() const {
+  return "cusum(k=" + std::to_string(config_.slack) +
+         ", h=" + std::to_string(config_.threshold) + ")";
+}
+
+std::unique_ptr<Detector> CusumDetector::clone() const {
+  auto copy = std::make_unique<CusumDetector>(config_);
+  return copy;
+}
+
+}  // namespace acn

@@ -1,0 +1,42 @@
+// Two-sided CUSUM (Page 1954, the paper's reference [10]): detects sustained
+// shifts of the stream mean. Classic tabular form with drift `slack` and
+// decision threshold `h`, expressed in units of the stream's estimated
+// standard deviation (learned during warm-up).
+#pragma once
+
+#include "detect/detector.hpp"
+
+namespace acn {
+
+class CusumDetector final : public Detector {
+ public:
+  struct Config {
+    double slack = 0.5;      ///< k: half the shift (in sigmas) worth detecting
+    double threshold = 5.0;  ///< h: alarm when a cumulative sum exceeds h sigmas
+    int warmup = 16;         ///< samples used to estimate mean / sigma
+    double min_sigma = 1e-3;
+  };
+
+  explicit CusumDetector(Config config);
+
+  bool observe(double sample) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Detector> clone() const override;
+
+  [[nodiscard]] double positive_sum() const noexcept { return s_pos_; }
+  [[nodiscard]] double negative_sum() const noexcept { return s_neg_; }
+
+ private:
+  Config config_;
+  // Warm-up statistics (Welford).
+  int seen_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sigma_ = 0.0;
+  // Cumulative sums (in sigma units).
+  double s_pos_ = 0.0;
+  double s_neg_ = 0.0;
+};
+
+}  // namespace acn

@@ -1,0 +1,37 @@
+// Error-detection functions a_k(j) (§III-A).
+//
+// The paper treats the detector as a pluggable black box: "Different kinds
+// of error detection functions exist, ranging from simple threshold based
+// functions to more sophisticated ones like the Holt-Winters forecasting or
+// Cusum methods" (citing Holt [6], Kalman [7], Page's CUSUM [10],
+// Winters [12]). Implementation is declared out of scope there; we provide
+// the cited family so the end-to-end pipeline (net substrate, examples) is
+// runnable: each detector consumes one QoS sample per tick and reports
+// whether the *variation* is abnormal.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace acn {
+
+/// One detector instance monitors one (device, service) QoS stream.
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  /// Feeds the QoS sample observed at the current tick; returns true when
+  /// the variation is too large to be considered normal (a_k fires).
+  virtual bool observe(double sample) = 0;
+
+  /// Forgets all history (used when a device re-registers).
+  virtual void reset() = 0;
+
+  /// Human-readable identification for logs and reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Deep copy (detector banks clone a prototype per service).
+  [[nodiscard]] virtual std::unique_ptr<Detector> clone() const = 0;
+};
+
+}  // namespace acn

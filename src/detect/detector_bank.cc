@@ -1,0 +1,31 @@
+#include "detect/detector_bank.hpp"
+
+#include <stdexcept>
+
+namespace acn {
+
+DetectorBank::DetectorBank(const Detector& prototype, std::size_t services) {
+  if (services == 0) {
+    throw std::invalid_argument("DetectorBank: at least one service required");
+  }
+  detectors_.reserve(services);
+  for (std::size_t i = 0; i < services; ++i) detectors_.push_back(prototype.clone());
+}
+
+bool DetectorBank::observe(std::span<const double> samples) {
+  if (samples.size() != detectors_.size()) {
+    throw std::invalid_argument("DetectorBank: sample/service count mismatch");
+  }
+  fired_.clear();
+  for (std::size_t i = 0; i < detectors_.size(); ++i) {
+    if (detectors_[i]->observe(samples[i])) fired_.push_back(i);
+  }
+  return !fired_.empty();
+}
+
+void DetectorBank::reset() {
+  for (const auto& detector : detectors_) detector->reset();
+  fired_.clear();
+}
+
+}  // namespace acn

@@ -1,0 +1,40 @@
+// DetectorBank: the per-device error-detection function a_k(j).
+//
+// Definition 5: a_k(j) = true iff *at least one* consumed service shows an
+// abnormal QoS variation. The bank holds one detector per service (cloned
+// from a prototype) and ORs their verdicts; it also remembers which services
+// fired, which the net substrate uses for reporting.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "detect/detector.hpp"
+
+namespace acn {
+
+class DetectorBank {
+ public:
+  /// One clone of `prototype` per service. Requires services >= 1.
+  DetectorBank(const Detector& prototype, std::size_t services);
+
+  /// Feeds the per-service QoS vector for the current tick; returns a_k(j).
+  /// Requires samples.size() == service_count().
+  bool observe(std::span<const double> samples);
+
+  [[nodiscard]] std::size_t service_count() const noexcept { return detectors_.size(); }
+
+  /// Services that fired on the most recent observe() call.
+  [[nodiscard]] const std::vector<std::size_t>& fired_services() const noexcept {
+    return fired_;
+  }
+
+  void reset();
+
+ private:
+  std::vector<std::unique_ptr<Detector>> detectors_;
+  std::vector<std::size_t> fired_;
+};
+
+}  // namespace acn

@@ -1,0 +1,53 @@
+#include "detect/ewma.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace acn {
+
+EwmaDetector::EwmaDetector(Config config) : config_(config) {
+  if (config.alpha <= 0.0 || config.alpha > 1.0) {
+    throw std::invalid_argument("EwmaDetector: alpha must be in (0, 1]");
+  }
+  if (config.k_sigma <= 0.0) {
+    throw std::invalid_argument("EwmaDetector: k_sigma must be > 0");
+  }
+}
+
+bool EwmaDetector::observe(double sample) {
+  if (seen_ == 0) {
+    level_ = sample;
+    var_ = 0.0;
+    ++seen_;
+    return false;
+  }
+  const double innovation = sample - level_;
+  const double sigma = std::sqrt(var_) > config_.min_sigma ? std::sqrt(var_)
+                                                           : config_.min_sigma;
+  const bool fire = seen_ >= config_.warmup &&
+                    std::fabs(innovation) > config_.k_sigma * sigma;
+  // Update the model only with non-alarming samples so a fault does not
+  // teach the filter to accept the degraded level immediately.
+  if (!fire) {
+    level_ += config_.alpha * innovation;
+    var_ = (1.0 - config_.alpha) * (var_ + config_.alpha * innovation * innovation);
+  }
+  ++seen_;
+  return fire;
+}
+
+void EwmaDetector::reset() {
+  level_ = 0.0;
+  var_ = 0.0;
+  seen_ = 0;
+}
+
+std::string EwmaDetector::name() const {
+  return "ewma(alpha=" + std::to_string(config_.alpha) + ")";
+}
+
+std::unique_ptr<Detector> EwmaDetector::clone() const {
+  return std::make_unique<EwmaDetector>(config_);
+}
+
+}  // namespace acn

@@ -1,0 +1,36 @@
+// EWMA control-chart detector: exponentially weighted moving average with a
+// running variance estimate; fires when the innovation leaves the +-k-sigma
+// band. A standard lightweight member of the family §III-A alludes to.
+#pragma once
+
+#include "detect/detector.hpp"
+
+namespace acn {
+
+class EwmaDetector final : public Detector {
+ public:
+  struct Config {
+    double alpha = 0.2;    ///< smoothing factor in (0, 1]
+    double k_sigma = 4.0;  ///< alarm band half-width in standard deviations
+    double min_sigma = 1e-3;  ///< variance floor so flat streams stay sane
+    int warmup = 8;        ///< samples consumed before alarms are armed
+  };
+
+  explicit EwmaDetector(Config config);
+
+  bool observe(double sample) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Detector> clone() const override;
+
+  /// Current smoothed level (the prediction for the next sample).
+  [[nodiscard]] double level() const noexcept { return level_; }
+
+ private:
+  Config config_;
+  double level_ = 0.0;
+  double var_ = 0.0;
+  int seen_ = 0;
+};
+
+}  // namespace acn

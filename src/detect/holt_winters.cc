@@ -1,0 +1,79 @@
+#include "detect/holt_winters.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace acn {
+
+HoltWintersDetector::HoltWintersDetector(Config config) : config_(config) {
+  if (config.alpha <= 0.0 || config.alpha > 1.0 || config.beta < 0.0 ||
+      config.beta > 1.0 || config.gamma < 0.0 || config.gamma > 1.0) {
+    throw std::invalid_argument("HoltWintersDetector: smoothing factors out of range");
+  }
+  if (config.period < 0 || (config.gamma > 0.0 && config.period < 2)) {
+    throw std::invalid_argument("HoltWintersDetector: bad seasonal period");
+  }
+  if (config.period > 0) season_.assign(static_cast<std::size_t>(config.period), 0.0);
+}
+
+double HoltWintersDetector::seasonal(int offset) const noexcept {
+  if (config_.period == 0) return 0.0;
+  const int idx = ((seen_ + offset) % config_.period + config_.period) % config_.period;
+  return season_[static_cast<std::size_t>(idx)];
+}
+
+double HoltWintersDetector::forecast() const noexcept {
+  return level_ + trend_ + seasonal(0);
+}
+
+bool HoltWintersDetector::observe(double sample) {
+  if (seen_ == 0) {
+    level_ = sample;
+    trend_ = 0.0;
+    ++seen_;
+    return false;
+  }
+  const double predicted = forecast();
+  const double error = sample - predicted;
+  const double sigma = err_dev_ > config_.min_sigma ? err_dev_ : config_.min_sigma;
+  const int effective_warmup =
+      config_.period > 0 ? std::max(config_.warmup, 2 * config_.period) : config_.warmup;
+  const bool fire = seen_ >= effective_warmup && std::fabs(error) > config_.k_sigma * sigma;
+
+  if (!fire) {
+    const double seasonal_now = seasonal(0);
+    const double deseasoned = sample - seasonal_now;
+    const double prev_level = level_;
+    level_ = config_.alpha * deseasoned + (1.0 - config_.alpha) * (level_ + trend_);
+    trend_ = config_.beta * (level_ - prev_level) + (1.0 - config_.beta) * trend_;
+    if (config_.period > 0 && config_.gamma > 0.0) {
+      const int idx = seen_ % config_.period;
+      season_[static_cast<std::size_t>(idx)] =
+          config_.gamma * (sample - level_) +
+          (1.0 - config_.gamma) * season_[static_cast<std::size_t>(idx)];
+    }
+    err_dev_ = 0.9 * err_dev_ + 0.1 * std::fabs(error);
+  }
+  ++seen_;
+  return fire;
+}
+
+void HoltWintersDetector::reset() {
+  level_ = 0.0;
+  trend_ = 0.0;
+  err_dev_ = 0.0;
+  seen_ = 0;
+  if (config_.period > 0) season_.assign(static_cast<std::size_t>(config_.period), 0.0);
+}
+
+std::string HoltWintersDetector::name() const {
+  return "holt-winters(alpha=" + std::to_string(config_.alpha) +
+         ", beta=" + std::to_string(config_.beta) +
+         (config_.period > 0 ? ", period=" + std::to_string(config_.period) : "") + ")";
+}
+
+std::unique_ptr<Detector> HoltWintersDetector::clone() const {
+  return std::make_unique<HoltWintersDetector>(config_);
+}
+
+}  // namespace acn

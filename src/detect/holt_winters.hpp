@@ -1,0 +1,46 @@
+// Holt-Winters forecasting detector (references [6] Holt and [12] Winters of
+// the paper): additive level + trend + optional additive seasonality; fires
+// when the one-step-ahead forecast error leaves a k-sigma band around the
+// running error deviation.
+#pragma once
+
+#include <vector>
+
+#include "detect/detector.hpp"
+
+namespace acn {
+
+class HoltWintersDetector final : public Detector {
+ public:
+  struct Config {
+    double alpha = 0.3;   ///< level smoothing, in (0, 1]
+    double beta = 0.1;    ///< trend smoothing, in [0, 1]
+    double gamma = 0.0;   ///< seasonal smoothing, in [0, 1]; 0 with period 0 = no season
+    int period = 0;       ///< season length in ticks (0 disables seasonality)
+    double k_sigma = 4.0; ///< alarm band half-width
+    int warmup = 12;      ///< samples before alarms arm (>= 2; >= 2*period if seasonal)
+    double min_sigma = 1e-3;
+  };
+
+  explicit HoltWintersDetector(Config config);
+
+  bool observe(double sample) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Detector> clone() const override;
+
+  /// One-step-ahead forecast for the next sample.
+  [[nodiscard]] double forecast() const noexcept;
+
+ private:
+  [[nodiscard]] double seasonal(int offset) const noexcept;
+
+  Config config_;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  std::vector<double> season_;
+  double err_dev_ = 0.0;  // EWMA of |forecast error|
+  int seen_ = 0;
+};
+
+}  // namespace acn

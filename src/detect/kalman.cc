@@ -1,0 +1,54 @@
+#include "detect/kalman.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace acn {
+
+KalmanDetector::KalmanDetector(Config config) : config_(config) {
+  if (config.process_noise <= 0.0 || config.observation_noise <= 0.0 ||
+      config.gate <= 0.0) {
+    throw std::invalid_argument("KalmanDetector: bad configuration");
+  }
+}
+
+bool KalmanDetector::observe(double sample) {
+  if (seen_ == 0) {
+    x_ = sample;
+    p_ = config_.observation_noise;
+    ++seen_;
+    return false;
+  }
+  // Predict.
+  const double p_pred = p_ + config_.process_noise;
+  // Innovation gate.
+  const double s = p_pred + config_.observation_noise;
+  const double innovation = sample - x_;
+  const bool fire = seen_ >= config_.warmup &&
+                    std::fabs(innovation) / std::sqrt(s) > config_.gate;
+  if (!fire) {
+    // Update.
+    const double gain = p_pred / s;
+    x_ += gain * innovation;
+    p_ = (1.0 - gain) * p_pred;
+  }
+  ++seen_;
+  return fire;
+}
+
+void KalmanDetector::reset() {
+  x_ = 0.0;
+  p_ = 1.0;
+  seen_ = 0;
+}
+
+std::string KalmanDetector::name() const {
+  return "kalman(q=" + std::to_string(config_.process_noise) +
+         ", r=" + std::to_string(config_.observation_noise) + ")";
+}
+
+std::unique_ptr<Detector> KalmanDetector::clone() const {
+  return std::make_unique<KalmanDetector>(config_);
+}
+
+}  // namespace acn

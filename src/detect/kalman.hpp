@@ -1,0 +1,37 @@
+// Scalar Kalman-filter detector (the paper's reference [7], as used by the
+// related work [15] to predict metric values at monitored nodes): local
+// level model x_{k+1} = x_k + w, observation y_k = x_k + v. Fires when the
+// normalized innovation exceeds the gate.
+#pragma once
+
+#include "detect/detector.hpp"
+
+namespace acn {
+
+class KalmanDetector final : public Detector {
+ public:
+  struct Config {
+    double process_noise = 1e-4;      ///< Q: variance of the state random walk
+    double observation_noise = 1e-3;  ///< R: variance of the measurement
+    double gate = 4.0;                ///< alarm when |innovation|/sqrt(S) > gate
+    int warmup = 8;
+  };
+
+  explicit KalmanDetector(Config config);
+
+  bool observe(double sample) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Detector> clone() const override;
+
+  [[nodiscard]] double estimate() const noexcept { return x_; }
+  [[nodiscard]] double variance() const noexcept { return p_; }
+
+ private:
+  Config config_;
+  double x_ = 0.0;  // state estimate
+  double p_ = 1.0;  // estimate variance
+  int seen_ = 0;
+};
+
+}  // namespace acn

@@ -1,0 +1,52 @@
+#include "detect/threshold.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace acn {
+
+StepThresholdDetector::StepThresholdDetector(double threshold)
+    : threshold_(threshold) {
+  if (threshold <= 0.0) {
+    throw std::invalid_argument("StepThresholdDetector: threshold must be > 0");
+  }
+}
+
+bool StepThresholdDetector::observe(double sample) {
+  const bool fire = has_last_ && std::fabs(sample - last_) > threshold_;
+  last_ = sample;
+  has_last_ = true;
+  return fire;
+}
+
+void StepThresholdDetector::reset() { has_last_ = false; }
+
+std::string StepThresholdDetector::name() const {
+  return "step-threshold(" + std::to_string(threshold_) + ")";
+}
+
+std::unique_ptr<Detector> StepThresholdDetector::clone() const {
+  return std::make_unique<StepThresholdDetector>(threshold_);
+}
+
+BandThresholdDetector::BandThresholdDetector(double lo, double hi) : lo_(lo), hi_(hi) {
+  if (lo >= hi) {
+    throw std::invalid_argument("BandThresholdDetector: requires lo < hi");
+  }
+}
+
+bool BandThresholdDetector::observe(double sample) {
+  return sample < lo_ || sample > hi_;
+}
+
+void BandThresholdDetector::reset() {}
+
+std::string BandThresholdDetector::name() const {
+  return "band-threshold[" + std::to_string(lo_) + ", " + std::to_string(hi_) + "]";
+}
+
+std::unique_ptr<Detector> BandThresholdDetector::clone() const {
+  return std::make_unique<BandThresholdDetector>(lo_, hi_);
+}
+
+}  // namespace acn

@@ -1,0 +1,42 @@
+// Threshold detectors: the "simple threshold based functions" of §III-A.
+#pragma once
+
+#include "detect/detector.hpp"
+
+namespace acn {
+
+/// Fires when the absolute sample-to-sample variation exceeds `threshold`.
+/// The first sample never fires (no variation defined yet).
+class StepThresholdDetector final : public Detector {
+ public:
+  /// Requires threshold > 0.
+  explicit StepThresholdDetector(double threshold);
+
+  bool observe(double sample) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Detector> clone() const override;
+
+ private:
+  double threshold_;
+  double last_ = 0.0;
+  bool has_last_ = false;
+};
+
+/// Fires when the sample leaves the fixed admissible band [lo, hi].
+class BandThresholdDetector final : public Detector {
+ public:
+  /// Requires lo < hi.
+  BandThresholdDetector(double lo, double hi);
+
+  bool observe(double sample) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Detector> clone() const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+}  // namespace acn

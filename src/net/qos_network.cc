@@ -1,0 +1,65 @@
+#include "net/qos_network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/math.hpp"
+
+namespace acn {
+
+void FaultInjector::inject(Fault fault) {
+  if (fault.severity <= 0.0 || fault.severity > 1.0) {
+    throw std::invalid_argument("Fault: severity must be in (0, 1]");
+  }
+  if (fault.duration == 0) {
+    throw std::invalid_argument("Fault: duration must be >= 1 tick");
+  }
+  faults_.push_back(fault);
+}
+
+double FaultInjector::degradation(const Topology& topology, DeviceId gateway,
+                                  std::size_t service, std::uint64_t tick) const {
+  double total = 0.0;
+  for (const Fault& fault : faults_) {
+    const bool active = tick >= fault.start && tick < fault.start + fault.duration;
+    if (active && topology.on_path(fault.site, fault.index, gateway, service)) {
+      total += fault.severity;
+    }
+  }
+  return std::min(total, 1.0);
+}
+
+DeviceSet FaultInjector::impacted_gateways(const Topology& topology,
+                                           std::uint64_t tick) const {
+  std::vector<DeviceId> impacted;
+  for (DeviceId g = 0; g < topology.gateway_count(); ++g) {
+    for (std::size_t s = 0; s < topology.service_count(); ++s) {
+      if (degradation(topology, g, s, tick) > 0.0) {
+        impacted.push_back(g);
+        break;
+      }
+    }
+  }
+  return DeviceSet(std::move(impacted));
+}
+
+QosNetwork::QosNetwork(const Topology& topology, Config config, std::uint64_t seed)
+    : topology_(topology), config_(config), rng_(seed) {
+  if (config.base_qos <= 0.0 || config.base_qos > 1.0 || config.noise_sigma < 0.0) {
+    throw std::invalid_argument("QosNetwork: bad configuration");
+  }
+}
+
+double QosNetwork::true_qos(const FaultInjector& faults, DeviceId gateway,
+                            std::size_t service, std::uint64_t tick) const {
+  return clamp(config_.base_qos - faults.degradation(topology_, gateway, service, tick),
+               0.0, 1.0);
+}
+
+double QosNetwork::sample(const FaultInjector& faults, DeviceId gateway,
+                          std::size_t service, std::uint64_t tick) {
+  const double noiseless = true_qos(faults, gateway, service, tick);
+  return clamp(noiseless + rng_.normal(0.0, config_.noise_sigma), 0.0, 1.0);
+}
+
+}  // namespace acn

@@ -1,0 +1,71 @@
+// QoS synthesis over the ISP tree: per-(gateway, service) end-to-end quality
+// in [0,1] per tick, with injected faults degrading every pair whose path
+// crosses the fault site. This is the substitute for real TR-069 telemetry
+// (see DESIGN.md): what matters for the paper's method is that a shared
+// fault produces *correlated* QoS drops and a local fault an *uncorrelated*
+// one, which the path model guarantees by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/topology.hpp"
+
+namespace acn {
+
+struct Fault {
+  FaultSite site = FaultSite::kGateway;
+  std::size_t index = 0;     ///< node index (or service index for backends)
+  double severity = 0.4;     ///< QoS drop while active, in (0, 1]
+  std::uint64_t start = 0;   ///< first tick the fault is active
+  std::uint64_t duration = 1;  ///< ticks the fault stays active
+};
+
+class FaultInjector {
+ public:
+  void inject(Fault fault);
+  void clear() noexcept { faults_.clear(); }
+
+  /// Total degradation applied to (gateway, service) at `tick`. Multiple
+  /// overlapping faults accumulate (saturating at full degradation 1.0).
+  [[nodiscard]] double degradation(const Topology& topology, DeviceId gateway,
+                                   std::size_t service, std::uint64_t tick) const;
+
+  /// Gateways with at least one service degraded at `tick` — ground truth.
+  [[nodiscard]] DeviceSet impacted_gateways(const Topology& topology,
+                                            std::uint64_t tick) const;
+
+  [[nodiscard]] const std::vector<Fault>& faults() const noexcept { return faults_; }
+
+ private:
+  std::vector<Fault> faults_;
+};
+
+class QosNetwork {
+ public:
+  struct Config {
+    double base_qos = 0.92;    ///< healthy level
+    double noise_sigma = 0.01; ///< gaussian measurement noise
+  };
+
+  QosNetwork(const Topology& topology, Config config, std::uint64_t seed);
+
+  /// End-to-end QoS sample for (gateway, service) at `tick`, in [0, 1].
+  [[nodiscard]] double sample(const FaultInjector& faults, DeviceId gateway,
+                              std::size_t service, std::uint64_t tick);
+
+  /// Noise-free QoS (used to position devices in the QoS space E for the
+  /// characterization snapshots — the paper's measurement function q_{i,k}).
+  [[nodiscard]] double true_qos(const FaultInjector& faults, DeviceId gateway,
+                                std::size_t service, std::uint64_t tick) const;
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+
+ private:
+  const Topology& topology_;
+  Config config_;
+  Rng rng_;
+};
+
+}  // namespace acn

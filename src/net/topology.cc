@@ -1,0 +1,65 @@
+#include "net/topology.hpp"
+
+namespace acn {
+
+Topology::Topology(TopologyConfig config) : config_(config) {
+  config_.validate();
+  gateway_count_ = config_.regions * config_.aggregations_per_region *
+                   config_.gateways_per_aggregation;
+}
+
+std::size_t Topology::aggregation_of(DeviceId gateway) const {
+  if (gateway >= gateway_count_) {
+    throw std::out_of_range("Topology: unknown gateway " + std::to_string(gateway));
+  }
+  return gateway / config_.gateways_per_aggregation;
+}
+
+std::size_t Topology::region_of(DeviceId gateway) const {
+  return aggregation_of(gateway) / config_.aggregations_per_region;
+}
+
+std::vector<DeviceId> Topology::gateways_under_aggregation(
+    std::size_t aggregation) const {
+  if (aggregation >= aggregation_count()) {
+    throw std::out_of_range("Topology: unknown aggregation");
+  }
+  std::vector<DeviceId> out;
+  const auto first =
+      static_cast<DeviceId>(aggregation * config_.gateways_per_aggregation);
+  for (std::size_t i = 0; i < config_.gateways_per_aggregation; ++i) {
+    out.push_back(first + static_cast<DeviceId>(i));
+  }
+  return out;
+}
+
+std::vector<DeviceId> Topology::gateways_under_region(std::size_t region) const {
+  if (region >= config_.regions) throw std::out_of_range("Topology: unknown region");
+  std::vector<DeviceId> out;
+  const std::size_t first_aggregation = region * config_.aggregations_per_region;
+  for (std::size_t a = 0; a < config_.aggregations_per_region; ++a) {
+    const auto sub = gateways_under_aggregation(first_aggregation + a);
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+bool Topology::on_path(FaultSite site, std::size_t index, DeviceId gateway,
+                       std::size_t service) const {
+  if (gateway >= gateway_count_ || service >= config_.services) return false;
+  switch (site) {
+    case FaultSite::kGateway:
+      return index == gateway;  // every service of that gateway
+    case FaultSite::kAggregation:
+      return aggregation_of(gateway) == index;
+    case FaultSite::kRegion:
+      return region_of(gateway) == index;
+    case FaultSite::kServiceBackend:
+      return service == index;  // that service at every gateway
+    case FaultSite::kCore:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace acn

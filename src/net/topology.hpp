@@ -1,0 +1,74 @@
+// Synthetic ISP access network — the deployment that motivates the paper
+// (§I: "Internet service providers operating millions of home gateways").
+//
+// Three-level tree: one core router, `regions` regional routers, each with
+// `aggregations_per_region` aggregation switches, each serving
+// `gateways_per_aggregation` home gateways. Every gateway consumes
+// `services` services whose traffic crosses its aggregation switch, its
+// regional router and the core; each service additionally has one backend
+// link at the core. A fault anywhere on that path degrades the QoS of every
+// (gateway, service) pair routed through it — which is precisely what makes
+// network-level events *massive* and gateway-local events *isolated*.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/device_set.hpp"
+
+namespace acn {
+
+struct TopologyConfig {
+  std::size_t regions = 4;
+  std::size_t aggregations_per_region = 8;
+  std::size_t gateways_per_aggregation = 32;
+  std::size_t services = 2;
+
+  void validate() const {
+    if (regions == 0 || aggregations_per_region == 0 ||
+        gateways_per_aggregation == 0 || services == 0) {
+      throw std::invalid_argument("TopologyConfig: all sizes must be >= 1");
+    }
+  }
+};
+
+/// Where a fault sits in the tree.
+enum class FaultSite : std::uint8_t {
+  kGateway,         ///< one gateway (hardware/software fault) — isolated
+  kAggregation,     ///< one aggregation switch — impacts its subtree
+  kRegion,          ///< one regional router — impacts its subtree
+  kServiceBackend,  ///< one service's backend — impacts that service fleet-wide
+  kCore,            ///< the core router — impacts everything
+};
+
+class Topology {
+ public:
+  explicit Topology(TopologyConfig config);
+
+  [[nodiscard]] const TopologyConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t gateway_count() const noexcept { return gateway_count_; }
+  [[nodiscard]] std::size_t service_count() const noexcept { return config_.services; }
+
+  [[nodiscard]] std::size_t aggregation_of(DeviceId gateway) const;
+  [[nodiscard]] std::size_t region_of(DeviceId gateway) const;
+
+  [[nodiscard]] std::vector<DeviceId> gateways_under_aggregation(
+      std::size_t aggregation) const;
+  [[nodiscard]] std::vector<DeviceId> gateways_under_region(std::size_t region) const;
+
+  /// True iff a fault at (site, index) degrades `service` at `gateway`.
+  /// For kServiceBackend, `index` names the service; otherwise the node.
+  [[nodiscard]] bool on_path(FaultSite site, std::size_t index, DeviceId gateway,
+                             std::size_t service) const;
+
+  [[nodiscard]] std::size_t aggregation_count() const noexcept {
+    return config_.regions * config_.aggregations_per_region;
+  }
+
+ private:
+  TopologyConfig config_;
+  std::size_t gateway_count_;
+};
+
+}  // namespace acn

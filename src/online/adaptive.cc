@@ -1,0 +1,31 @@
+#include "online/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace acn {
+
+AdaptiveSampler::AdaptiveSampler(Config config)
+    : config_(config), current_(config.initial_interval) {
+  if (config.min_interval == 0 || config.min_interval > config.max_interval) {
+    throw std::invalid_argument("AdaptiveSampler: bad interval bounds");
+  }
+  if (config.initial_interval < config.min_interval ||
+      config.initial_interval > config.max_interval) {
+    throw std::invalid_argument("AdaptiveSampler: initial interval out of bounds");
+  }
+  if (config.decrease <= 0.0 || config.decrease >= 1.0 || config.increase <= 1.0) {
+    throw std::invalid_argument("AdaptiveSampler: bad multipliers");
+  }
+}
+
+std::uint64_t AdaptiveSampler::next_interval(bool anomaly_observed) noexcept {
+  const double scaled = anomaly_observed
+                            ? static_cast<double>(current_) * config_.decrease
+                            : static_cast<double>(current_) * config_.increase;
+  const auto rounded = static_cast<std::uint64_t>(std::llround(scaled));
+  current_ = std::clamp(rounded, config_.min_interval, config_.max_interval);
+  return current_;
+}
+
+}  // namespace acn

@@ -1,0 +1,44 @@
+// Adaptive snapshot scheduling (§VII-C).
+//
+// "In our approach, the frequency at which QoS information is sampled is
+//  locally tuned, and only depends on the local occurrence of QoS
+//  degradations. [...] devices can afford to increase the frequency at
+//  which they sample their neighbourhood, decreasing accordingly the number
+//  of concomitant errors and thus the number of unresolved configurations."
+//
+// AdaptiveSampler is that controller: multiplicative decrease of the
+// sampling interval while anomalies are observed (fewer errors superpose
+// within one interval), multiplicative increase while quiet (cheap when
+// nothing happens). Bounded both sides.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace acn {
+
+class AdaptiveSampler {
+ public:
+  struct Config {
+    std::uint64_t min_interval = 1;    ///< ticks; alarm-time floor
+    std::uint64_t max_interval = 64;   ///< ticks; idle-time ceiling
+    std::uint64_t initial_interval = 16;
+    double decrease = 0.5;  ///< multiplier on anomaly (in (0, 1))
+    double increase = 1.5;  ///< multiplier on quiet (> 1)
+  };
+
+  explicit AdaptiveSampler(Config config);
+
+  /// Reports whether the last interval contained an anomaly; returns the
+  /// next sampling interval in ticks.
+  std::uint64_t next_interval(bool anomaly_observed) noexcept;
+
+  [[nodiscard]] std::uint64_t current() const noexcept { return current_; }
+  void reset() noexcept { current_ = config_.initial_interval; }
+
+ private:
+  Config config_;
+  std::uint64_t current_;
+};
+
+}  // namespace acn

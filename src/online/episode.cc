@@ -1,0 +1,80 @@
+#include "online/episode.hpp"
+
+#include <stdexcept>
+
+namespace acn {
+
+AnomalyClass Episode::final_verdict() const noexcept {
+  for (auto it = verdicts.rbegin(); it != verdicts.rend(); ++it) {
+    if (*it != AnomalyClass::kUnresolved) return *it;
+  }
+  return AnomalyClass::kUnresolved;
+}
+
+bool Episode::flapped() const noexcept {
+  bool saw_isolated = false;
+  bool saw_massive = false;
+  for (const AnomalyClass verdict : verdicts) {
+    saw_isolated = saw_isolated || verdict == AnomalyClass::kIsolated;
+    saw_massive = saw_massive || verdict == AnomalyClass::kMassive;
+  }
+  return saw_isolated && saw_massive;
+}
+
+bool Episode::sharpened() const noexcept {
+  bool unresolved_seen = false;
+  for (const AnomalyClass verdict : verdicts) {
+    if (verdict == AnomalyClass::kUnresolved) {
+      unresolved_seen = true;
+    } else if (unresolved_seen) {
+      return true;
+    }
+  }
+  return false;
+}
+
+EpisodeTracker::EpisodeTracker(std::uint64_t quiet_intervals)
+    : quiet_intervals_(quiet_intervals) {
+  if (quiet_intervals == 0) {
+    throw std::invalid_argument("EpisodeTracker: quiet_intervals must be >= 1");
+  }
+}
+
+void EpisodeTracker::observe(std::uint64_t interval,
+                             const std::map<DeviceId, AnomalyClass>& verdict_of) {
+  // Update or open episodes for abnormal devices.
+  for (const auto& [device, verdict] : verdict_of) {
+    auto [it, inserted] = open_.try_emplace(device);
+    OpenEpisode& open = it->second;
+    if (inserted) {
+      open.episode.device = device;
+      open.episode.first_interval = interval;
+    }
+    open.episode.last_interval = interval;
+    open.episode.verdicts.push_back(verdict);
+    open.quiet_streak = 0;
+  }
+  // Age quiet devices and close episodes whose streak expired.
+  for (auto it = open_.begin(); it != open_.end();) {
+    if (verdict_of.contains(it->first)) {
+      ++it;
+      continue;
+    }
+    if (++it->second.quiet_streak >= quiet_intervals_) {
+      closed_.push_back(std::move(it->second.episode));
+      it = open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void EpisodeTracker::flush() {
+  for (auto& [device, open] : open_) {
+    (void)device;
+    closed_.push_back(std::move(open.episode));
+  }
+  open_.clear();
+}
+
+}  // namespace acn

@@ -1,0 +1,70 @@
+// Episode tracking: the online view of anomalies across many intervals.
+//
+// The characterizer answers "what hit device j in [k-1, k]?". An operator
+// cares about the *episode*: the contiguous run of abnormal intervals of a
+// device, the verdict evolution inside it (unresolved verdicts frequently
+// sharpen into massive/isolated as the superposed errors drift apart), and
+// fleet-level statistics (episode durations, verdict stability).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/device_set.hpp"
+#include "core/params.hpp"
+
+namespace acn {
+
+struct Episode {
+  DeviceId device = 0;
+  std::uint64_t first_interval = 0;
+  std::uint64_t last_interval = 0;
+  std::vector<AnomalyClass> verdicts;  ///< one per abnormal interval
+
+  [[nodiscard]] std::uint64_t duration() const noexcept {
+    return last_interval - first_interval + 1;
+  }
+  /// The episode's settled verdict: the last decided (non-unresolved)
+  /// verdict if any, otherwise unresolved.
+  [[nodiscard]] AnomalyClass final_verdict() const noexcept;
+  /// True if the episode ever switched between decided classes
+  /// (isolated <-> massive) — should be rare; a symptom of model drift.
+  [[nodiscard]] bool flapped() const noexcept;
+  /// True if some unresolved interval later sharpened into a decided one.
+  [[nodiscard]] bool sharpened() const noexcept;
+};
+
+/// Feeds per-interval verdicts; closes an episode after `quiet_intervals`
+/// without the device appearing in A_k.
+class EpisodeTracker {
+ public:
+  explicit EpisodeTracker(std::uint64_t quiet_intervals = 1);
+
+  /// Records interval k: `verdict_of` maps each abnormal device to its
+  /// verdict. Devices absent from the map are considered quiet.
+  void observe(std::uint64_t interval,
+               const std::map<DeviceId, AnomalyClass>& verdict_of);
+
+  /// Episodes closed so far (quiet for >= quiet_intervals).
+  [[nodiscard]] const std::vector<Episode>& closed() const noexcept {
+    return closed_;
+  }
+  /// Episodes still running.
+  [[nodiscard]] std::size_t open_count() const noexcept { return open_.size(); }
+
+  /// Force-closes every open episode (end of run).
+  void flush();
+
+ private:
+  struct OpenEpisode {
+    Episode episode;
+    std::uint64_t quiet_streak = 0;
+  };
+
+  std::uint64_t quiet_intervals_;
+  std::map<DeviceId, OpenEpisode> open_;
+  std::vector<Episode> closed_;
+};
+
+}  // namespace acn

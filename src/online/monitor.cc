@@ -1,0 +1,60 @@
+#include "online/monitor.hpp"
+
+#include <stdexcept>
+
+namespace acn {
+
+OnlineMonitor::OnlineMonitor(Config config)
+    : config_(config), episodes_(config.episode_quiet_intervals) {
+  config_.model.validate();
+  if (config_.adaptive.has_value()) sampler_.emplace(*config_.adaptive);
+}
+
+IntervalReport OnlineMonitor::observe(const Snapshot& positions,
+                                      const DeviceSet& abnormal) {
+  IntervalReport report;
+  report.interval = interval_;
+  report.abnormal = abnormal;
+
+  if (last_.has_value()) {
+    if (last_->size() != positions.size() || last_->dim() != positions.dim()) {
+      throw std::invalid_argument("OnlineMonitor: fleet shape changed mid-stream");
+    }
+    if (!abnormal.empty()) {
+      const StatePair state(*last_, positions, abnormal);
+      Characterizer characterizer(state, config_.model, config_.characterize);
+      for (const DeviceId j : abnormal) {
+        const Decision decision = characterizer.characterize(j);
+        report.decisions.emplace(j, decision);
+        switch (decision.cls) {
+          case AnomalyClass::kIsolated:
+            report.isolated = report.isolated.with(j);
+            break;
+          case AnomalyClass::kMassive:
+            report.massive = report.massive.with(j);
+            break;
+          case AnomalyClass::kUnresolved:
+            report.unresolved = report.unresolved.with(j);
+            break;
+        }
+      }
+    }
+  }
+
+  // Episode bookkeeping and the adaptive controller run on every interval,
+  // including quiet ones.
+  std::map<DeviceId, AnomalyClass> verdict_of;
+  for (const auto& [device, decision] : report.decisions) {
+    verdict_of.emplace(device, decision.cls);
+  }
+  episodes_.observe(interval_, verdict_of);
+  if (sampler_.has_value()) {
+    (void)sampler_->next_interval(!report.abnormal.empty());
+  }
+
+  last_ = positions;
+  ++interval_;
+  return report;
+}
+
+}  // namespace acn

@@ -1,0 +1,74 @@
+// OnlineMonitor: the streaming front door of the library.
+//
+// Feed one system snapshot per interval (positions of all devices in the
+// QoS space plus the abnormal set A_k); the monitor characterizes every
+// abnormal device against the previous snapshot, maintains episodes across
+// intervals, and drives the adaptive snapshot scheduler. This is the object
+// a deployment embeds; everything below it (oracle, characterizer,
+// partitions) is mechanism.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/characterizer.hpp"
+#include "online/adaptive.hpp"
+#include "online/episode.hpp"
+
+namespace acn {
+
+/// Verdicts of one interval.
+struct IntervalReport {
+  std::uint64_t interval = 0;
+  DeviceSet abnormal;
+  DeviceSet isolated;
+  DeviceSet massive;
+  DeviceSet unresolved;
+  std::map<DeviceId, Decision> decisions;
+
+  [[nodiscard]] double unresolved_ratio() const noexcept {
+    return abnormal.empty() ? 0.0
+                            : static_cast<double>(unresolved.size()) /
+                                  static_cast<double>(abnormal.size());
+  }
+};
+
+class OnlineMonitor {
+ public:
+  struct Config {
+    Params model;
+    CharacterizeOptions characterize;
+    std::uint64_t episode_quiet_intervals = 1;
+    std::optional<AdaptiveSampler::Config> adaptive;  ///< nullopt = fixed rate
+  };
+
+  explicit OnlineMonitor(Config config);
+
+  /// Feeds the snapshot of interval k; returns verdicts (empty report for
+  /// the very first snapshot — no motion to characterize yet).
+  /// Throws std::invalid_argument if the fleet size or dimension changes.
+  IntervalReport observe(const Snapshot& positions, const DeviceSet& abnormal);
+
+  /// Next sampling interval suggested by the §VII-C controller (the
+  /// configured fixed interval when adaptivity is off).
+  [[nodiscard]] std::uint64_t next_sampling_interval() const noexcept {
+    return sampler_.has_value() ? sampler_->current() : 1;
+  }
+
+  [[nodiscard]] const EpisodeTracker& episodes() const noexcept { return episodes_; }
+  /// Closes all open episodes (end of stream).
+  void finish() { episodes_.flush(); }
+
+  [[nodiscard]] std::uint64_t intervals_seen() const noexcept { return interval_; }
+
+ private:
+  Config config_;
+  std::optional<Snapshot> last_;
+  std::optional<AdaptiveSampler> sampler_;
+  EpisodeTracker episodes_;
+  std::uint64_t interval_ = 0;
+};
+
+}  // namespace acn

@@ -1,0 +1,57 @@
+#include "proto/network.hpp"
+
+#include <stdexcept>
+
+namespace acn {
+
+SimulatedNetwork::SimulatedNetwork(std::size_t node_count, Config config,
+                                   std::uint64_t seed)
+    : config_(config), rng_(seed), mailboxes_(node_count), traffic_(node_count) {
+  if (node_count == 0) {
+    throw std::invalid_argument("SimulatedNetwork: need at least one node");
+  }
+  if (config.min_latency > config.max_latency) {
+    throw std::invalid_argument("SimulatedNetwork: min_latency > max_latency");
+  }
+  if (config.loss_rate < 0.0 || config.loss_rate > 1.0) {
+    throw std::invalid_argument("SimulatedNetwork: loss_rate must be in [0, 1]");
+  }
+}
+
+void SimulatedNetwork::send(Message message) {
+  if (message.to >= mailboxes_.size() || message.from >= mailboxes_.size()) {
+    throw std::out_of_range("SimulatedNetwork: unknown endpoint");
+  }
+  message.send_time = now_;
+  traffic_[message.from].sent(message);
+  if (rng_.bernoulli(config_.loss_rate)) {
+    ++dropped_;
+    return;
+  }
+  const std::uint64_t latency =
+      config_.min_latency +
+      rng_.uniform_int(config_.max_latency - config_.min_latency + 1);
+  message.deliver_time = now_ + latency;
+  ++in_flight_;
+  mailboxes_[message.to].push(Pending{std::move(message)});
+}
+
+std::vector<Message> SimulatedNetwork::deliver(DeviceId node) {
+  auto& box = mailboxes_.at(node);
+  std::vector<Message> out;
+  while (!box.empty() && box.top().message.deliver_time <= now_) {
+    out.push_back(box.top().message);
+    traffic_[node].received(out.back());
+    box.pop();
+    --in_flight_;
+  }
+  return out;
+}
+
+TrafficStats SimulatedNetwork::total_traffic() const {
+  TrafficStats total;
+  for (const TrafficStats& stats : traffic_) total.merge(stats);
+  return total;
+}
+
+}  // namespace acn

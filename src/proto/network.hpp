@@ -1,0 +1,64 @@
+// Event-driven message transport for the distributed protocol simulation:
+// a latency-modelled mailbox network connecting the protocol nodes.
+// Deterministic given the seed (latencies are drawn per message).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "proto/message.hpp"
+
+namespace acn {
+
+class SimulatedNetwork {
+ public:
+  struct Config {
+    std::uint64_t min_latency = 1;  ///< ticks
+    std::uint64_t max_latency = 4;  ///< ticks (inclusive)
+    /// Probability a message is silently dropped (failure injection).
+    double loss_rate = 0.0;
+  };
+
+  SimulatedNetwork(std::size_t node_count, Config config, std::uint64_t seed);
+
+  /// Queues a message; stamps send/deliver times; accounts traffic.
+  void send(Message message);
+
+  /// Pops every message deliverable at the current tick for `node`.
+  [[nodiscard]] std::vector<Message> deliver(DeviceId node);
+
+  /// Advances simulated time by one tick.
+  void tick() noexcept { ++now_; }
+  [[nodiscard]] std::uint64_t now() const noexcept { return now_; }
+
+  /// True when no message is still in flight.
+  [[nodiscard]] bool idle() const noexcept { return in_flight_ == 0; }
+
+  [[nodiscard]] const TrafficStats& traffic(DeviceId node) const {
+    return traffic_.at(node);
+  }
+  [[nodiscard]] TrafficStats total_traffic() const;
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  struct Pending {
+    Message message;
+    bool operator>(const Pending& other) const noexcept {
+      return message.deliver_time > other.message.deliver_time;
+    }
+  };
+
+  Config config_;
+  Rng rng_;
+  std::uint64_t now_ = 0;
+  std::uint64_t in_flight_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<std::priority_queue<Pending, std::vector<Pending>, std::greater<>>>
+      mailboxes_;
+  std::vector<TrafficStats> traffic_;
+};
+
+}  // namespace acn

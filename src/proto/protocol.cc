@@ -1,0 +1,204 @@
+#include "proto/protocol.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace acn {
+
+NeighbourDirectory::NeighbourDirectory(const StatePair& state) : state_(state) {}
+
+std::vector<DeviceId> NeighbourDirectory::lookup(DeviceId centre,
+                                                 double radius) const {
+  ++lookups_;
+  std::vector<DeviceId> out;
+  for (const DeviceId other : state_.abnormal()) {
+    if (state_.joint_distance(centre, other) <= radius) out.push_back(other);
+  }
+  return out;
+}
+
+ProtocolDriver::ProtocolDriver(const StatePair& state, Config config,
+                               std::uint64_t seed)
+    : state_(state),
+      config_(config),
+      network_(state.n(), config.network, seed),
+      directory_(state) {
+  config_.model.validate();
+}
+
+void ProtocolDriver::start_round1(DeviceId j) {
+  NodeState& node = nodes_[j];
+  // Every device knows its own trajectory.
+  node.known.emplace(j, std::make_pair(state_.prev_pos(j), state_.curr_pos(j)));
+  node.known_abnormal = node.known_abnormal.with(j);
+
+  const auto candidates = directory_.lookup(j, config_.model.window());
+  for (const DeviceId other : candidates) {
+    if (other == j) continue;
+    Message query;
+    query.type = MessageType::kTrajectoryQuery;
+    query.from = j;
+    query.to = other;
+    network_.send(std::move(query));
+    ++node.outstanding;
+  }
+  if (node.outstanding == 0) decide(j);  // no neighbours at all: Theorem 5
+}
+
+void ProtocolDriver::start_round2(DeviceId j) {
+  NodeState& node = nodes_[j];
+  node.phase = Phase::kQueryShell;
+
+  // The 4r shell: abnormal devices within 2r of any known 2r-neighbour.
+  // Deployment would ask each neighbour for its own neighbourhood; the
+  // directory answers the same question with one lookup per neighbour.
+  DeviceSet shell;
+  for (const auto& [id, positions] : node.known) {
+    (void)positions;
+    if (!node.known_abnormal.contains(id)) continue;
+    for (const DeviceId far : directory_.lookup(id, config_.model.window())) {
+      shell = shell.with(far);
+    }
+  }
+  for (const DeviceId far : shell) {
+    if (node.known.contains(far)) continue;
+    Message query;
+    query.type = MessageType::kTrajectoryQuery;
+    query.from = j;
+    query.to = far;
+    network_.send(std::move(query));
+    ++node.outstanding;
+  }
+  if (node.outstanding == 0) decide(j);
+}
+
+Decision ProtocolDriver::characterize_local_view(DeviceId j) const {
+  const NodeState& node = nodes_.at(j);
+  // Remap the known devices into a compact id space.
+  std::vector<Point> prev;
+  std::vector<Point> curr;
+  std::vector<DeviceId> abnormal;
+  DeviceId local_j = 0;
+  DeviceId next = 0;
+  for (const auto& [id, positions] : node.known) {
+    if (id == j) local_j = next;
+    prev.push_back(positions.first);
+    curr.push_back(positions.second);
+    if (node.known_abnormal.contains(id)) abnormal.push_back(next);
+    ++next;
+  }
+  const StatePair view(Snapshot(std::move(prev)), Snapshot(std::move(curr)),
+                       DeviceSet(std::move(abnormal)));
+  Characterizer characterizer(view, config_.model, config_.characterize);
+  return characterizer.characterize(local_j);
+}
+
+void ProtocolDriver::decide(DeviceId j) {
+  NodeState& node = nodes_[j];
+  node.phase = Phase::kDecided;
+  const Decision decision = characterize_local_view(j);
+  DistributedDecision out;
+  out.device = j;
+  out.cls = decision.cls;
+  out.rule = decision.rule;
+  out.decided_at = network_.now();
+  out.trajectories = node.trajectories;
+  out.view_size = node.known.size();
+  node.decision = out;
+}
+
+void ProtocolDriver::handle(DeviceId j, const Message& message) {
+  NodeState& node = nodes_[j];
+  switch (message.type) {
+    case MessageType::kTrajectoryQuery: {
+      // Any device (abnormal or not) serves its trajectory.
+      Message reply;
+      reply.type = MessageType::kTrajectoryReply;
+      reply.from = j;
+      reply.to = message.from;
+      reply.prev_position = state_.prev_pos(j);
+      reply.curr_position = state_.curr_pos(j);
+      reply.abnormal = state_.is_abnormal(j);
+      network_.send(std::move(reply));
+      break;
+    }
+    case MessageType::kTrajectoryReply: {
+      if (node.phase == Phase::kDecided) break;
+      node.known.emplace(message.from,
+                         std::make_pair(message.prev_position,
+                                        message.curr_position));
+      if (message.abnormal) {
+        node.known_abnormal = node.known_abnormal.with(message.from);
+      }
+      ++node.trajectories;
+      if (node.outstanding > 0) --node.outstanding;
+      if (node.outstanding == 0) {
+        if (node.phase == Phase::kQueryNeighbourhood) {
+          start_round2(j);
+        } else {
+          decide(j);
+        }
+      }
+      break;
+    }
+    case MessageType::kNeighbourQuery:
+    case MessageType::kNeighbourReply:
+      break;  // folded into directory lookups in this implementation
+  }
+}
+
+std::vector<DistributedDecision> ProtocolDriver::run() {
+  for (const DeviceId j : state_.abnormal()) {
+    nodes_[j];  // materialize state
+    start_round1(j);
+  }
+
+  const auto all_decided = [&]() {
+    return std::all_of(nodes_.begin(), nodes_.end(), [](const auto& entry) {
+      return entry.second.phase == Phase::kDecided;
+    });
+  };
+
+  while (!all_decided() && network_.now() < config_.max_ticks) {
+    network_.tick();
+    // Deliver to every device: responders may be normal devices too.
+    for (DeviceId j = 0; j < state_.n(); ++j) {
+      for (const Message& message : network_.deliver(j)) {
+        if (nodes_.contains(j)) {
+          handle(j, message);
+        } else if (message.type == MessageType::kTrajectoryQuery) {
+          // Normal device: serve trajectory queries only.
+          Message reply;
+          reply.type = MessageType::kTrajectoryReply;
+          reply.from = j;
+          reply.to = message.from;
+          reply.prev_position = state_.prev_pos(j);
+          reply.curr_position = state_.curr_pos(j);
+          reply.abnormal = state_.is_abnormal(j);
+          network_.send(std::move(reply));
+        }
+      }
+    }
+  }
+
+  std::vector<DistributedDecision> decisions;
+  for (auto& [j, node] : nodes_) {
+    if (!node.decision.has_value()) {
+      // Lost queries beyond the deadline: report honestly as unresolved.
+      ++timed_out_;
+      DistributedDecision fallback;
+      fallback.device = j;
+      fallback.cls = AnomalyClass::kUnresolved;
+      fallback.rule = DecisionRule::kBudgetExhausted;
+      fallback.decided_at = network_.now();
+      fallback.trajectories = node.trajectories;
+      fallback.view_size = node.known.size();
+      decisions.push_back(fallback);
+    } else {
+      decisions.push_back(*node.decision);
+    }
+  }
+  return decisions;
+}
+
+}  // namespace acn

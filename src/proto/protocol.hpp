@@ -1,0 +1,114 @@
+// Distributed implementation of the local characterization.
+//
+// The paper's §V closes with: a device only needs the trajectories within
+// 4r of itself. This module runs that claim as an actual protocol over the
+// simulated network:
+//
+//   round 1  — the deciding device looks up its 2r-candidates in the
+//              directory (the DHT of the related work [2], abstracted) and
+//              queries their trajectories;
+//   round 2  — for each neighbour in a dense motion with it, it queries the
+//              neighbour's own 2r-neighbourhood (the 4r shell) and fetches
+//              the still-unknown trajectories;
+//   decide   — it runs Theorems 5/6/7 + Corollary 8 on its *local view*.
+//
+// A property test asserts the distributed verdicts equal the centralized
+// characterizer's on the same state — the locality theorem, end to end.
+// The driver reports traffic and latency per decision, which is what the
+// scalability benches measure.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/characterizer.hpp"
+#include "proto/network.hpp"
+
+namespace acn {
+
+/// Announced-position directory (in deployment: a DHT keyed by QoS cells;
+/// here: an oracle with the same interface). Lookups are counted.
+class NeighbourDirectory {
+ public:
+  explicit NeighbourDirectory(const StatePair& state);
+
+  /// Ids of *abnormal* devices within joint distance `radius` of `centre`
+  /// (the directory only tracks devices whose detector fired).
+  [[nodiscard]] std::vector<DeviceId> lookup(DeviceId centre, double radius) const;
+
+  [[nodiscard]] std::uint64_t lookups() const noexcept { return lookups_; }
+
+ private:
+  const StatePair& state_;
+  mutable std::uint64_t lookups_ = 0;
+};
+
+/// Outcome of one device's distributed decision.
+struct DistributedDecision {
+  DeviceId device = 0;
+  AnomalyClass cls = AnomalyClass::kUnresolved;
+  DecisionRule rule = DecisionRule::kTheorem5;
+  std::uint64_t decided_at = 0;     ///< simulation tick of the decision
+  std::uint64_t trajectories = 0;   ///< trajectory replies consumed
+  std::size_t view_size = 0;        ///< devices in the local view
+};
+
+/// Runs the protocol for every abnormal device of `state` until quiescence.
+class ProtocolDriver {
+ public:
+  struct Config {
+    Params model;
+    SimulatedNetwork::Config network;
+    CharacterizeOptions characterize;
+    std::uint64_t max_ticks = 10'000;  ///< safety bound (lossy networks)
+  };
+
+  ProtocolDriver(const StatePair& state, Config config, std::uint64_t seed);
+
+  /// Runs to quiescence; returns one decision per abnormal device (devices
+  /// whose queries were all lost beyond max_ticks are reported Unresolved
+  /// with exact = false semantics — counted in `timed_out()`).
+  [[nodiscard]] std::vector<DistributedDecision> run();
+
+  [[nodiscard]] const SimulatedNetwork& network() const noexcept { return network_; }
+  [[nodiscard]] const NeighbourDirectory& directory() const noexcept {
+    return directory_;
+  }
+  [[nodiscard]] std::uint64_t timed_out() const noexcept { return timed_out_; }
+
+ private:
+  enum class Phase : std::uint8_t {
+    kQueryNeighbourhood,  ///< round-1 trajectory queries outstanding
+    kQueryShell,          ///< round-2 (4r) queries outstanding
+    kDecided,
+  };
+
+  struct NodeState {
+    Phase phase = Phase::kQueryNeighbourhood;
+    std::uint64_t outstanding = 0;
+    std::map<DeviceId, std::pair<Point, Point>> known;  // id -> (prev, curr)
+    DeviceSet known_abnormal;
+    std::uint64_t trajectories = 0;
+    std::optional<DistributedDecision> decision;
+  };
+
+  void start_round1(DeviceId j);
+  void start_round2(DeviceId j);
+  void decide(DeviceId j);
+  void handle(DeviceId j, const Message& message);
+
+  /// Builds the reduced StatePair of j's local view and characterizes j in
+  /// it (ids remapped; verdict mapped back).
+  [[nodiscard]] Decision characterize_local_view(DeviceId j) const;
+
+  const StatePair& state_;
+  Config config_;
+  SimulatedNetwork network_;
+  NeighbourDirectory directory_;
+  std::map<DeviceId, NodeState> nodes_;
+  std::uint64_t timed_out_ = 0;
+};
+
+}  // namespace acn

@@ -1,0 +1,74 @@
+#include "sim/metrics.hpp"
+
+namespace acn {
+
+StepMetrics evaluate_step(const ScenarioStep& step, Params model,
+                          const CharacterizeOptions& options) {
+  StepMetrics metrics;
+  metrics.abnormal = step.state.abnormal().size();
+  metrics.truly_isolated = step.truth.truly_isolated.size();
+  if (metrics.abnormal == 0) return metrics;
+
+  Characterizer characterizer(step.state, model, options);
+  for (const DeviceId j : step.state.abnormal()) {
+    const Decision decision = characterizer.characterize(j);
+    switch (decision.rule) {
+      case DecisionRule::kTheorem5:
+        ++metrics.isolated_thm5;
+        metrics.motions_isolated.add(
+            static_cast<double>(decision.maximal_motion_count));
+        break;
+      case DecisionRule::kTheorem6:
+        ++metrics.massive_thm6;
+        metrics.dense_motions_massive6.add(
+            static_cast<double>(decision.dense_motion_count));
+        break;
+      case DecisionRule::kTheorem7:
+        ++metrics.massive_thm7;
+        metrics.collections_massive7.add(
+            static_cast<double>(decision.collections_tested));
+        break;
+      case DecisionRule::kCorollary8:
+        ++metrics.unresolved_cor8;
+        metrics.collections_unresolved.add(
+            static_cast<double>(decision.collections_tested));
+        break;
+      case DecisionRule::kTheorem6Only:
+        ++metrics.unresolved_cor8;  // full NSC disabled: report as unresolved
+        break;
+      case DecisionRule::kBudgetExhausted:
+        ++metrics.budget_exhausted;
+        ++metrics.unresolved_cor8;
+        break;
+    }
+    if (decision.cls == AnomalyClass::kMassive &&
+        step.truth.truly_isolated.contains(j)) {
+      ++metrics.missed_detection;
+    }
+  }
+  return metrics;
+}
+
+void RunMetrics::add(const StepMetrics& m) {
+  abnormal.add(static_cast<double>(m.abnormal));
+  if (m.abnormal > 0) {
+    const auto pct = [&](std::size_t c) {
+      return 100.0 * static_cast<double>(c) / static_cast<double>(m.abnormal);
+    };
+    isolated_share.add(pct(m.isolated_thm5));
+    massive6_share.add(pct(m.massive_thm6));
+    unresolved_share.add(pct(m.unresolved_cor8));
+    massive7_share.add(pct(m.massive_thm7));
+    unresolved_ratio.add(m.unresolved_ratio());
+  }
+  if (m.truly_isolated > 0) missed_rate.add(m.missed_detection_rate());
+  missed_total += m.missed_detection;
+  truly_isolated_total += m.truly_isolated;
+  motions_isolated.merge(m.motions_isolated);
+  dense_motions_massive6.merge(m.dense_motions_massive6);
+  collections_unresolved.merge(m.collections_unresolved);
+  collections_massive7.merge(m.collections_massive7);
+  budget_exhausted += m.budget_exhausted;
+}
+
+}  // namespace acn

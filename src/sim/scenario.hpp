@@ -1,0 +1,172 @@
+// The evaluation workload of §VII-A, reproduced parameter for parameter.
+//
+// "The initial distribution of the devices in E follows a uniform
+//  distribution [...]. A number A of points with A in [[1, 80]] are randomly
+//  chosen in S_{k-1}. Then, for each chosen point j, with probability G less
+//  than tau points are randomly chosen in a ball of radius r centered at j,
+//  and with probability 1-G, t points are randomly chosen in a ball of
+//  radius r centered at j, with t varying from tau to the number of points
+//  in this ball. [...] all these chosen points are moved to another location
+//  uniformly chosen in E, and a_k is set to True."
+//
+// Restrictions R1-R3 of §III-C are honoured by construction:
+//   R1 - a device is impacted by at most one error per interval (impacted
+//        devices are excluded from later draws of the same step);
+//   R2 - all members of a group undergo the *same* displacement, so a group
+//        r-consistent at k-1 (it sits in a ball of radius r) stays
+//        r-consistent at k; the common target is drawn uniformly among the
+//        positions keeping the whole group inside E;
+//   R3 - optional (`enforce_r3`): isolated groups are re-placed until they
+//        are farther than 2r (joint distance) from every other impacted
+//        group, so they can never take part in a tau-dense motion. Figures
+//        8 and 9 of the paper study exactly the `enforce_r3 = false` mode.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/device_set.hpp"
+#include "common/rng.hpp"
+#include "core/params.hpp"
+#include "core/state.hpp"
+
+namespace acn {
+
+struct ScenarioParams {
+  std::size_t n = 1000;   ///< number of monitored devices
+  std::size_t d = 2;      ///< services per device (paper: 2)
+  Params model;           ///< r and tau (paper: r = 0.03, tau = 3)
+  std::uint32_t errors_per_step = 20;  ///< A: errors per interval [k-1, k]
+  double isolated_probability = 0.5;   ///< G: P{an error is isolated}
+  /// R1 is structural (a device cannot move to two places at once): anchors
+  /// already impacted this step are skipped. R3 alone is switchable.
+  bool enforce_r3 = true;
+  /// Re-placement attempts per isolated group before the error is dropped
+  /// (only with enforce_r3; drops are counted, never silent).
+  int r3_retry_limit = 128;
+  /// Concomitant errors (§VII-C: "decreasing accordingly the number of
+  /// concomitant errors and thus the number of unresolved configurations"):
+  /// probability that an error of the interval belongs to the interval's
+  /// *concomitance regime* — one underlying network condition manifesting
+  /// as several distinct errors that originate in a common region of the
+  /// QoS space and degrade it toward a common operating point. Concomitant
+  /// errors superpose in the joint space, which is what creates unresolved
+  /// configurations; with a single error per interval the regime is empty,
+  /// matching the paper's observation that A = 1 yields |U_k| = 0. The
+  /// §VII-A text does not specify the superposition mechanism; this knob is
+  /// calibrated against Table II in EXPERIMENTS.md. 0 = fully independent
+  /// errors (the literal reading).
+  double concomitance = 0.0;
+  /// Concomitant anchors are drawn among devices within this multiple of 2r
+  /// of the regime's origin centre.
+  double concomitance_origin_factor = 3.0;
+  /// Concomitant targets land within this multiple of 2r of the regime's
+  /// target centre.
+  double concomitance_target_factor = 2.0;
+  /// Error impact ball radius = ball_radius_factor * r. The literal §VII-A
+  /// reading is 1.0; but restriction R3's phrasing ("impacted by an error
+  /// that has impacted many other devices — not necessarily those following
+  /// the same motion") requires errors whose impact set spans more than one
+  /// motion, i.e. a ball wider than r. The calibrated profile (see
+  /// EXPERIMENTS.md) uses 2.0, which also matches the paper's vicinity
+  /// definition V = {x : ||x - p(j)|| <= 2r} from the dimensioning analysis.
+  double ball_radius_factor = 1.0;
+  /// Cap on the extra members of a massive group (t <= tau + cap). The
+  /// paper draws t up to the whole ball; with wide balls that overshoots the
+  /// reported |A_k| (~95.7 at A = 20), so the calibrated profile caps it.
+  std::uint32_t max_massive_extra = UINT32_MAX;
+  /// Re-draw attempts for a massive error whose anchor ball holds fewer
+  /// than tau other devices (a network error hits a populated region by
+  /// nature — a router serves many customers). 0 = literal §VII-A reading:
+  /// an underfull massive error simply impacts everyone in the ball.
+  std::uint32_t massive_anchor_retries = 0;
+  std::uint64_t seed = 1;
+
+  /// The calibrated profile reproducing the paper's Table II levels; see
+  /// EXPERIMENTS.md for the calibration ladder.
+  void apply_calibrated_profile() {
+    concomitance = 0.3;
+    ball_radius_factor = 1.0;
+    max_massive_extra = 4;
+    massive_anchor_retries = 16;
+  }
+
+  void validate() const;
+};
+
+/// Ground-truth record of one injected error (the paper's R_k).
+struct ErrorEvent {
+  DeviceSet devices;
+  /// An error is massive iff it impacted more than tau devices (§III-C).
+  bool massive = false;
+};
+
+/// Ground truth for one interval [k-1, k].
+struct StepTruth {
+  std::vector<ErrorEvent> events;
+  DeviceSet abnormal;        ///< A_k = union of impacted devices
+  DeviceSet truly_isolated;  ///< I_{R_k}
+  DeviceSet truly_massive;   ///< M_{R_k}
+  std::uint32_t dropped_errors = 0;  ///< R3 placement failures (rare)
+};
+
+/// One generated interval, ready for characterization.
+struct ScenarioStep {
+  StatePair state;
+  StepTruth truth;
+};
+
+class ScenarioGenerator {
+ public:
+  explicit ScenarioGenerator(ScenarioParams params);
+
+  /// Advances the system by one snapshot interval and returns (S_{k-1}, S_k,
+  /// A_k) plus the real error scenario R_k.
+  [[nodiscard]] ScenarioStep advance();
+
+  /// Same, with this interval's error count overriding errors_per_step
+  /// (used by the adaptive-sampling studies: a monitor sampling twice as
+  /// fast sees half the errors per interval). `errors` may be 0.
+  [[nodiscard]] ScenarioStep advance(std::uint32_t errors);
+
+  /// Current device positions (S_k after the last advance, S_0 initially).
+  [[nodiscard]] const std::vector<Point>& positions() const noexcept {
+    return positions_;
+  }
+
+  [[nodiscard]] const ScenarioParams& params() const noexcept { return params_; }
+  [[nodiscard]] std::uint64_t step_count() const noexcept { return steps_; }
+
+ private:
+  struct PlacedGroup {
+    std::vector<DeviceId> members;
+    bool isolated = false;
+  };
+
+  /// Devices within chebyshev distance `radius` of `centre` at the current
+  /// positions, excluding already-used devices.
+  [[nodiscard]] std::vector<DeviceId> ball_members(DeviceId centre, double radius,
+                                                   const std::vector<bool>& used) const;
+
+  /// Draws the common displacement for a group so every member stays in E;
+  /// when `attractor` is non-null, biases the anchor's target near it
+  /// (within `reach` per dimension).
+  [[nodiscard]] std::vector<double> draw_feasible_displacement(
+      const std::vector<DeviceId>& group, const Point* attractor, double reach);
+
+  /// Joint separation test between a tentatively moved group and all placed
+  /// groups (R3): true when every cross pair is farther than 2r at k-1 or k.
+  [[nodiscard]] bool separated_from_all(
+      const std::vector<DeviceId>& group,
+      const std::vector<std::vector<double>>& tentative_curr,
+      const std::vector<PlacedGroup>& placed,
+      const std::vector<Point>& prev,
+      const std::vector<Point>& curr) const;
+
+  ScenarioParams params_;
+  Rng rng_;
+  std::vector<Point> positions_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace acn

@@ -1,0 +1,155 @@
+// The §VIII future-work attack surface: collusion can flip verdicts, and
+// the clone filter claws the fake-crowd attack back.
+#include <gtest/gtest.h>
+
+#include "adversary/adversary.hpp"
+#include "adversary/defense.hpp"
+#include "core/characterizer.hpp"
+#include "support/test_util.hpp"
+
+namespace acn {
+namespace {
+
+const Params kModel{.r = 0.05, .tau = 3};
+
+/// Victim (device 0) suffers an isolated crash; devices 1..6 are healthy
+/// bystanders scattered far away.
+StatePair honest_scene() {
+  return test::make_state_1d(
+      {
+          {0.90, 0.20},  // victim: genuine isolated anomaly
+          {0.40, 0.40},
+          {0.45, 0.45},
+          {0.50, 0.50},
+          {0.55, 0.55},
+          {0.60, 0.60},
+          {0.65, 0.65},
+      },
+      DeviceSet({0}));
+}
+
+TEST(FakeCrowdAttackTest, FlipsIsolatedVictimToMassive) {
+  const StatePair honest = honest_scene();
+  Characterizer before(honest, kModel);
+  ASSERT_EQ(before.characterize(0).cls, AnomalyClass::kIsolated);
+
+  AttackConfig attack;
+  attack.strategy = AttackStrategy::kFakeCrowd;
+  attack.colluders = {1, 2, 3};  // tau colluders + victim = dense motion
+  attack.target = 0;
+  const CompromisedState compromised = apply_attack(honest, kModel, attack);
+
+  Characterizer after(compromised.observed, kModel);
+  EXPECT_EQ(after.characterize(0).cls, AnomalyClass::kMassive)
+      << "the paper's anticipated attack: the victim now believes the whole "
+         "neighbourhood crashed and never calls support";
+  EXPECT_EQ(compromised.fabricated_abnormal.size(), 3u);
+}
+
+TEST(FakeCrowdAttackTest, TooFewColludersFail) {
+  const StatePair honest = honest_scene();
+  AttackConfig attack;
+  attack.strategy = AttackStrategy::kFakeCrowd;
+  attack.colluders = {1, 2};  // tau - 1: motion stays sparse
+  attack.target = 0;
+  const CompromisedState compromised = apply_attack(honest, kModel, attack);
+  Characterizer after(compromised.observed, kModel);
+  EXPECT_EQ(after.characterize(0).cls, AnomalyClass::kIsolated);
+}
+
+TEST(CloneFilterTest, RecoversTheVictim) {
+  const StatePair honest = honest_scene();
+  AttackConfig attack;
+  attack.strategy = AttackStrategy::kFakeCrowd;
+  attack.colluders = {1, 2, 3, 4};
+  attack.target = 0;
+  attack.claim_jitter = 0.05;  // tight collusion, as the attack needs
+  const CompromisedState compromised = apply_attack(honest, kModel, attack);
+
+  const CloneFilter filter({.suspicion_factor = 0.2, .min_group = 3});
+  const DeviceSet dropped = filter.suspicious(compromised.observed, kModel);
+  // The clone group is the victim + colluders; all but one member dropped.
+  EXPECT_GE(dropped.size(), 3u);
+  EXPECT_TRUE(dropped.is_subset_of(
+      compromised.colluders.with(0)));
+
+  const StatePair cleaned = filter.filtered(compromised.observed, kModel);
+  // After filtering, whoever survived of the clone group decides isolated.
+  Characterizer after(cleaned, kModel);
+  for (const DeviceId j : cleaned.abnormal()) {
+    EXPECT_EQ(after.characterize(j).cls, AnomalyClass::kIsolated);
+  }
+}
+
+TEST(CloneFilterTest, HonestTightGroupsBelowMinGroupSurvive) {
+  // Two honestly co-moving devices are not a crowd; nothing is dropped.
+  const StatePair state = test::make_state_1d(
+      {{0.90, 0.20}, {0.901, 0.201}}, DeviceSet({0, 1}));
+  const CloneFilter filter({.suspicion_factor = 0.2, .min_group = 3});
+  EXPECT_TRUE(filter.suspicious(state, kModel).empty());
+}
+
+TEST(CloneFilterTest, HonestMassiveGroupSurvives) {
+  // A genuine error group keeps its natural intra-ball spread (~r), well
+  // above the suspicion radius: no honest device is dropped.
+  const StatePair state = test::make_state_1d(
+      {
+          {0.10, 0.60}, {0.14, 0.64}, {0.18, 0.68}, {0.12, 0.62}, {0.16, 0.66},
+      },
+      DeviceSet({0, 1, 2, 3, 4}));
+  const CloneFilter filter({.suspicion_factor = 0.2, .min_group = 3});
+  EXPECT_TRUE(filter.suspicious(state, kModel).empty());
+  Characterizer characterizer(state, kModel);
+  EXPECT_EQ(characterizer.characterize(0).cls, AnomalyClass::kMassive);
+}
+
+TEST(ScatterCoverAttackTest, HidesAMassiveEvent) {
+  // Five devices genuinely crash together; three of them are colluders who
+  // scatter their claims: the two honest victims lose their dense motion.
+  const StatePair honest = test::make_state_1d(
+      {
+          {0.10, 0.60}, {0.12, 0.62}, {0.14, 0.64}, {0.16, 0.66}, {0.18, 0.68},
+      },
+      DeviceSet({0, 1, 2, 3, 4}));
+  Characterizer before(honest, kModel);
+  ASSERT_EQ(before.characterize(0).cls, AnomalyClass::kMassive);
+
+  AttackConfig attack;
+  attack.strategy = AttackStrategy::kScatterCover;
+  attack.colluders = {2, 3, 4};
+  attack.target = 0;
+  const CompromisedState compromised = apply_attack(honest, kModel, attack);
+  Characterizer after(compromised.observed, kModel);
+  EXPECT_EQ(after.characterize(0).cls, AnomalyClass::kIsolated)
+      << "the honest victims now flood the support desk";
+}
+
+TEST(MimicNoiseAttackTest, InflatesTheAbnormalSet) {
+  const StatePair honest = honest_scene();
+  AttackConfig attack;
+  attack.strategy = AttackStrategy::kMimicNoise;
+  attack.colluders = {4, 5, 6};
+  const CompromisedState compromised = apply_attack(honest, kModel, attack);
+  EXPECT_EQ(compromised.observed.abnormal().size(),
+            honest.abnormal().size() + 3u);
+}
+
+TEST(AttackValidationTest, RejectsBadIds) {
+  const StatePair honest = honest_scene();
+  AttackConfig attack;
+  attack.colluders = {99};
+  EXPECT_THROW((void)apply_attack(honest, kModel, attack), std::invalid_argument);
+  attack.colluders = {1};
+  attack.target = 99;
+  EXPECT_THROW((void)apply_attack(honest, kModel, attack), std::invalid_argument);
+}
+
+TEST(CloneFilterTest, Validation) {
+  EXPECT_THROW(CloneFilter({.suspicion_factor = 0.0}), std::invalid_argument);
+  EXPECT_THROW(CloneFilter({.suspicion_factor = 1.0}), std::invalid_argument);
+  EXPECT_THROW(CloneFilter({.suspicion_factor = 0.2, .min_group = 1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acn

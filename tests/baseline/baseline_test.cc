@@ -1,0 +1,106 @@
+// Baseline comparators: mechanism tests plus the bucket-size dilemma the
+// paper describes for tessellation approaches (§II).
+#include <gtest/gtest.h>
+
+#include "baseline/central_kmeans.hpp"
+#include "baseline/tessellation.hpp"
+#include "sim/scenario.hpp"
+#include "support/test_util.hpp"
+
+namespace acn {
+namespace {
+
+TEST(TessellationTest, CoLocatedClusterIsMassive) {
+  // Five devices in one bucket signature before and after.
+  const StatePair state = test::make_state_1d(
+      {{0.11, 0.51}, {0.12, 0.52}, {0.13, 0.53}, {0.14, 0.54}, {0.15, 0.55}});
+  const TessellationBaseline baseline(0.2, 3);
+  const auto sets = baseline.classify(state);
+  EXPECT_EQ(sets.massive.size(), 5u);
+  EXPECT_TRUE(sets.isolated.empty());
+}
+
+TEST(TessellationTest, SmallBucketsFragmentRealGroups) {
+  // The same correlated group straddles bucket borders once buckets shrink:
+  // false "isolated" verdicts (the paper's criticism, small-bucket side).
+  const StatePair state = test::make_state_1d(
+      {{0.11, 0.51}, {0.12, 0.52}, {0.13, 0.53}, {0.14, 0.54}, {0.15, 0.55}});
+  const TessellationBaseline baseline(0.01, 3);
+  const auto sets = baseline.classify(state);
+  EXPECT_TRUE(sets.massive.empty());
+  EXPECT_EQ(sets.isolated.size(), 5u);
+}
+
+TEST(TessellationTest, LargeBucketsMergeUnrelatedAnomalies) {
+  // Distant isolated anomalies share one huge bucket: false "massive"
+  // verdicts (the large-bucket side of the dilemma).
+  const StatePair state = test::make_state_1d(
+      {{0.05, 0.81}, {0.15, 0.85}, {0.25, 0.9}, {0.35, 0.95}});
+  const TessellationBaseline baseline(0.5, 3);
+  const auto sets = baseline.classify(state);
+  EXPECT_EQ(sets.massive.size(), 4u);
+}
+
+TEST(TessellationTest, NoUnresolvedClassEver) {
+  const StatePair state = test::make_state_1d({{0.1, 0.9}, {0.5, 0.2}});
+  const TessellationBaseline baseline(0.1, 1);
+  const auto sets = baseline.classify(state);
+  EXPECT_TRUE(sets.unresolved.empty());
+  EXPECT_EQ(sets.massive.size() + sets.isolated.size(), 2u);
+}
+
+TEST(TessellationTest, Validation) {
+  EXPECT_THROW(TessellationBaseline(0.0, 3), std::invalid_argument);
+  EXPECT_THROW(TessellationBaseline(0.1, 0), std::invalid_argument);
+}
+
+TEST(CentralKmeansTest, SeparatesDenseClusterFromLoners) {
+  const StatePair state = test::make_state_1d({
+      {0.10, 0.50}, {0.11, 0.51}, {0.12, 0.52}, {0.13, 0.53}, {0.14, 0.54},
+      {0.80, 0.10},  // loner
+  });
+  const CentralKmeansBaseline baseline({.tau = 3, .cluster_divisor = 3, .seed = 5});
+  const auto sets = baseline.classify(state);
+  EXPECT_TRUE(sets.massive.contains(0));
+  EXPECT_TRUE(sets.massive.contains(4));
+  EXPECT_TRUE(sets.isolated.contains(5));
+}
+
+TEST(CentralKmeansTest, EmptyAbnormalSet) {
+  const StatePair state =
+      test::make_state_1d({{0.1, 0.1}, {0.2, 0.2}}, DeviceSet{});
+  const CentralKmeansBaseline baseline({.tau = 3});
+  const auto sets = baseline.classify(state);
+  EXPECT_TRUE(sets.massive.empty());
+  EXPECT_TRUE(sets.isolated.empty());
+}
+
+TEST(CentralKmeansTest, CommunicationCostScalesWithAbnormal) {
+  const StatePair state = test::make_state_1d(
+      {{0.1, 0.2}, {0.3, 0.4}, {0.5, 0.6}});
+  const CentralKmeansBaseline baseline({.tau = 1});
+  EXPECT_EQ(baseline.communication_cost(state), 3u * 2u);
+}
+
+TEST(CentralKmeansTest, DeterministicForSeed) {
+  ScenarioParams params;
+  params.n = 300;
+  params.d = 2;
+  params.model = {.r = 0.03, .tau = 3};
+  params.errors_per_step = 6;
+  params.seed = 9;
+  ScenarioGenerator generator(params);
+  const ScenarioStep step = generator.advance();
+  const CentralKmeansBaseline a({.tau = 3, .seed = 77});
+  const CentralKmeansBaseline b({.tau = 3, .seed = 77});
+  EXPECT_EQ(a.classify(step.state).massive, b.classify(step.state).massive);
+}
+
+TEST(CentralKmeansTest, Validation) {
+  EXPECT_THROW(CentralKmeansBaseline({.tau = 0}), std::invalid_argument);
+  EXPECT_THROW(CentralKmeansBaseline({.tau = 3, .cluster_divisor = 0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acn

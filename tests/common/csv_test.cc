@@ -1,0 +1,88 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace acn {
+namespace {
+
+TEST(CsvWriterTest, HeaderAndRows) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "2"});
+  csv.add_numeric_row({3.5, 4.25}, 2);
+  EXPECT_EQ(csv.to_string(), "a,b\n1,2\n3.50,4.25\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  CsvWriter csv({"x"});
+  csv.add_row({"has,comma"});
+  csv.add_row({"has\"quote"});
+  EXPECT_EQ(csv.to_string(), "x\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(CsvWriterTest, ShortRowsPadded) {
+  CsvWriter csv({"a", "b", "c"});
+  csv.add_row({"1"});
+  EXPECT_EQ(csv.to_string(), "a,b,c\n1,,\n");
+}
+
+TEST(ParseCsvTest, BasicRows) {
+  const auto rows = parse_csv("a,b\n1,2\n3,4\n");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(ParseCsvTest, QuotedFields) {
+  const auto rows = parse_csv("\"x,y\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "x,y");
+  EXPECT_EQ(rows[0][1], "he said \"hi\"");
+}
+
+TEST(ParseCsvTest, ToleratesCrlfAndMissingTrailingNewline) {
+  const auto rows = parse_csv("a,b\r\n1,2");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "2");
+}
+
+TEST(ParseCsvTest, EmptyFields) {
+  const auto rows = parse_csv("a,,c\n,,\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].size(), 3u);
+  EXPECT_EQ(rows[0][1], "");
+  EXPECT_EQ(rows[1].size(), 3u);
+}
+
+TEST(ParseCsvTest, MalformedQuotingThrows) {
+  EXPECT_THROW((void)parse_csv("\"unterminated\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse_csv("ab\"cd\n"), std::invalid_argument);
+}
+
+TEST(CsvRoundTripTest, WriteThenRead) {
+  CsvWriter csv({"id", "name"});
+  csv.add_row({"1", "alpha,beta"});
+  const auto rows = parse_csv(csv.to_string());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "alpha,beta");
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  const std::string path = "/tmp/acn_csv_test.csv";
+  CsvWriter csv({"k", "v"});
+  csv.add_row({"a", "1"});
+  csv.write_file(path);
+  const auto rows = read_csv_file(path);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][0], "a");
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileThrows) {
+  EXPECT_THROW((void)read_csv_file("/nonexistent/definitely/not.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace acn

@@ -1,0 +1,99 @@
+#include "common/device_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acn {
+namespace {
+
+TEST(DeviceSetTest, ConstructionSortsAndDeduplicates) {
+  const DeviceSet s({5, 1, 3, 1, 5});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.to_string(), "{1, 3, 5}");
+}
+
+TEST(DeviceSetTest, EmptySetBehaviour) {
+  const DeviceSet empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(empty.contains(0));
+  EXPECT_TRUE(empty.is_subset_of(DeviceSet({1, 2})));
+  EXPECT_TRUE(empty.is_disjoint_from(DeviceSet({1})));
+  EXPECT_TRUE(empty.is_disjoint_from(empty));
+}
+
+TEST(DeviceSetTest, Contains) {
+  const DeviceSet s({2, 4, 6});
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(4));
+  EXPECT_TRUE(s.contains(6));
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_FALSE(s.contains(7));
+}
+
+TEST(DeviceSetTest, SubsetRelations) {
+  const DeviceSet small({1, 3});
+  const DeviceSet big({1, 2, 3, 4});
+  EXPECT_TRUE(small.is_subset_of(big));
+  EXPECT_FALSE(big.is_subset_of(small));
+  EXPECT_TRUE(big.is_subset_of(big));
+}
+
+TEST(DeviceSetTest, Disjointness) {
+  EXPECT_TRUE(DeviceSet({1, 2}).is_disjoint_from(DeviceSet({3, 4})));
+  EXPECT_FALSE(DeviceSet({1, 2}).is_disjoint_from(DeviceSet({2, 3})));
+}
+
+TEST(DeviceSetTest, IntersectionSize) {
+  EXPECT_EQ(DeviceSet({1, 2, 3}).intersection_size(DeviceSet({2, 3, 4})), 2u);
+  EXPECT_EQ(DeviceSet({1, 2}).intersection_size(DeviceSet({3})), 0u);
+}
+
+TEST(DeviceSetTest, SetAlgebra) {
+  const DeviceSet a({1, 2, 3});
+  const DeviceSet b({3, 4});
+  EXPECT_EQ(a.set_union(b), DeviceSet({1, 2, 3, 4}));
+  EXPECT_EQ(a.set_intersection(b), DeviceSet({3}));
+  EXPECT_EQ(a.set_difference(b), DeviceSet({1, 2}));
+  EXPECT_EQ(b.set_difference(a), DeviceSet({4}));
+}
+
+TEST(DeviceSetTest, WithAndWithout) {
+  const DeviceSet s({1, 3});
+  EXPECT_EQ(s.with(2), DeviceSet({1, 2, 3}));
+  EXPECT_EQ(s.with(1), s);
+  EXPECT_EQ(s.without(3), DeviceSet({1}));
+  EXPECT_EQ(s.without(9), s);
+}
+
+TEST(DeviceSetTest, HashIsOrderInsensitiveAndDiscriminates) {
+  EXPECT_EQ(DeviceSet({3, 1, 2}).hash(), DeviceSet({1, 2, 3}).hash());
+  EXPECT_NE(DeviceSet({1, 2}).hash(), DeviceSet({1, 3}).hash());
+}
+
+TEST(DeviceSetTest, OrderingIsLexicographic) {
+  EXPECT_LT(DeviceSet({1, 2}), DeviceSet({1, 3}));
+  EXPECT_LT(DeviceSet({1}), DeviceSet({1, 2}));
+}
+
+TEST(KeepMaximalTest, RemovesSubsetsAndDuplicates) {
+  const std::vector<DeviceSet> family = {
+      DeviceSet({1, 2}), DeviceSet({1, 2, 3}), DeviceSet({1, 2}),
+      DeviceSet({4}),    DeviceSet({3, 4}),
+  };
+  const auto maximal = keep_maximal(family);
+  ASSERT_EQ(maximal.size(), 2u);
+  EXPECT_EQ(maximal[0], DeviceSet({1, 2, 3}));
+  EXPECT_EQ(maximal[1], DeviceSet({3, 4}));
+}
+
+TEST(KeepMaximalTest, KeepsIncomparableSets) {
+  const auto maximal = keep_maximal({DeviceSet({1, 2}), DeviceSet({2, 3})});
+  EXPECT_EQ(maximal.size(), 2u);
+}
+
+TEST(KeepMaximalTest, EmptyFamily) {
+  EXPECT_TRUE(keep_maximal({}).empty());
+}
+
+}  // namespace
+}  // namespace acn

@@ -1,0 +1,104 @@
+#include "common/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace acn {
+namespace {
+
+TEST(LogBinomialTest, SmallValuesExact) {
+  EXPECT_NEAR(std::exp(log_binomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(10, 5)), 252.0, 1e-6);
+  EXPECT_NEAR(std::exp(log_binomial(4, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_binomial(4, 4)), 1.0, 1e-12);
+}
+
+TEST(LogBinomialTest, OutOfRangeIsMinusInfinity) {
+  EXPECT_TRUE(std::isinf(log_binomial(3, 5)));
+  EXPECT_LT(log_binomial(3, 5), 0);
+}
+
+TEST(LogBinomialTest, SymmetricInK) {
+  EXPECT_NEAR(log_binomial(20, 7), log_binomial(20, 13), 1e-9);
+}
+
+TEST(LogBinomialTest, LargeValuesFinite) {
+  const double v = log_binomial(15000, 7500);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 0.0);
+}
+
+TEST(BinomialPmfTest, MatchesHandComputed) {
+  // X ~ Bin(4, 0.5): P{X=2} = 6/16.
+  EXPECT_NEAR(binomial_pmf(4, 2, 0.5), 0.375, 1e-12);
+  // X ~ Bin(3, 0.2): P{X=0} = 0.512.
+  EXPECT_NEAR(binomial_pmf(3, 0, 0.2), 0.512, 1e-12);
+}
+
+TEST(BinomialPmfTest, DegenerateProbabilities) {
+  EXPECT_EQ(binomial_pmf(5, 0, 0.0), 1.0);
+  EXPECT_EQ(binomial_pmf(5, 1, 0.0), 0.0);
+  EXPECT_EQ(binomial_pmf(5, 5, 1.0), 1.0);
+  EXPECT_EQ(binomial_pmf(5, 4, 1.0), 0.0);
+}
+
+TEST(BinomialPmfTest, SumsToOne) {
+  double sum = 0.0;
+  for (std::uint64_t k = 0; k <= 30; ++k) sum += binomial_pmf(30, k, 0.37);
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+}
+
+TEST(BinomialCdfTest, MonotoneAndBounded) {
+  double last = 0.0;
+  for (std::uint64_t k = 0; k <= 20; ++k) {
+    const double c = binomial_cdf(20, k, 0.3);
+    EXPECT_GE(c, last);
+    EXPECT_LE(c, 1.0);
+    last = c;
+  }
+  EXPECT_NEAR(binomial_cdf(20, 20, 0.3), 1.0, 1e-12);
+}
+
+TEST(BinomialCdfTest, MatchesPmfAccumulation) {
+  double acc = 0.0;
+  for (std::uint64_t k = 0; k <= 7; ++k) acc += binomial_pmf(12, k, 0.45);
+  EXPECT_NEAR(binomial_cdf(12, 7, 0.45), acc, 1e-12);
+}
+
+TEST(BinomialCdfTest, LargeNStable) {
+  // Bin(10000, 0.001): mean 10; CDF at 10 must be around 0.58 and finite.
+  const double c = binomial_cdf(10000, 10, 0.001);
+  EXPECT_GT(c, 0.5);
+  EXPECT_LT(c, 0.7);
+}
+
+TEST(LogAddExpTest, Basic) {
+  EXPECT_NEAR(log_add_exp(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+}
+
+TEST(LogAddExpTest, HandlesMinusInfinity) {
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  EXPECT_NEAR(log_add_exp(neg_inf, 1.5), 1.5, 1e-12);
+  EXPECT_NEAR(log_add_exp(1.5, neg_inf), 1.5, 1e-12);
+}
+
+TEST(LogAddExpTest, NoOverflowForLargeInputs) {
+  const double v = log_add_exp(800.0, 800.0);
+  EXPECT_NEAR(v, 800.0 + std::log(2.0), 1e-9);
+}
+
+TEST(ClampTest, Clamps) {
+  EXPECT_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_EQ(clamp(-1.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(clamp(2.0, 0.0, 1.0), 1.0);
+}
+
+TEST(NearlyEqualTest, Tolerances) {
+  EXPECT_TRUE(nearly_equal(1.0, 1.0 + 1e-13));
+  EXPECT_FALSE(nearly_equal(1.0, 1.0001));
+  EXPECT_TRUE(nearly_equal(1.0, 1.01, 0.1));
+}
+
+}  // namespace
+}  // namespace acn

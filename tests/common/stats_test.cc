@@ -1,0 +1,109 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace acn {
+namespace {
+
+TEST(RunningStatTest, MeanAndVariance) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-12);
+}
+
+TEST(RunningStatTest, EmptyAndSingle) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  s.add(3.5);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, MergeMatchesPooled) {
+  RunningStat a;
+  RunningStat b;
+  RunningStat pooled;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37;
+    a.add(x);
+    pooled.add(x);
+  }
+  for (int i = 0; i < 80; ++i) {
+    const double x = 100.0 - i;
+    b.add(x);
+    pooled.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  EXPECT_NEAR(a.mean(), pooled.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), pooled.variance(), 1e-9);
+  EXPECT_EQ(a.min(), pooled.min());
+  EXPECT_EQ(a.max(), pooled.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStat empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_NEAR(empty.mean(), 1.5, 1e-12);
+}
+
+TEST(SampleSetTest, QuantilesExact) {
+  SampleSet s;
+  for (const double x : {9.0, 1.0, 5.0, 3.0, 7.0}) s.add(x);
+  EXPECT_EQ(s.quantile(0.0), 1.0);
+  EXPECT_EQ(s.quantile(1.0), 9.0);
+  EXPECT_EQ(s.quantile(0.5), 5.0);
+  EXPECT_NEAR(s.quantile(0.25), 3.0, 1e-12);
+}
+
+TEST(SampleSetTest, QuantileInterpolates) {
+  SampleSet s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_NEAR(s.quantile(0.3), 3.0, 1e-12);
+}
+
+TEST(SampleSetTest, EmptyQuantileThrows) {
+  SampleSet s;
+  EXPECT_THROW((void)s.quantile(0.5), std::logic_error);
+}
+
+TEST(SampleSetTest, MeanStddev) {
+  SampleSet s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_NEAR(s.mean(), 2.5, 1e-12);
+  EXPECT_NEAR(s.stddev() * s.stddev(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(EmpiricalCdfTest, StepFunction) {
+  const EmpiricalCdf cdf({1.0, 2.0, 2.0, 4.0});
+  EXPECT_EQ(cdf.at(0.5), 0.0);
+  EXPECT_EQ(cdf.at(1.0), 0.25);
+  EXPECT_EQ(cdf.at(2.0), 0.75);
+  EXPECT_EQ(cdf.at(3.9), 0.75);
+  EXPECT_EQ(cdf.at(4.0), 1.0);
+  EXPECT_EQ(cdf.at(99.0), 1.0);
+}
+
+TEST(EmpiricalCdfTest, Empty) {
+  const EmpiricalCdf cdf({});
+  EXPECT_EQ(cdf.at(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace acn

@@ -1,0 +1,54 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acn {
+namespace {
+
+TEST(TableTest, RendersHeadersAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(s.find("|--"), std::string::npos);
+}
+
+TEST(TableTest, PadsColumnsToWidestCell) {
+  Table t({"h"});
+  t.add_row({"wide-cell"});
+  const std::string s = t.to_string();
+  // Each data line must be as long as the widest cell plus framing.
+  const auto first_newline = s.find('\n');
+  const auto second_newline = s.find('\n', first_newline + 1);
+  const auto third_newline = s.find('\n', second_newline + 1);
+  const std::string header_line = s.substr(0, first_newline);
+  const std::string data_line =
+      s.substr(second_newline + 1, third_newline - second_newline - 1);
+  EXPECT_EQ(header_line.size(), data_line.size());
+}
+
+TEST(TableTest, NumericRowFormatting) {
+  Table t({"a", "b"});
+  t.add_numeric_row({1.23456, 2.0}, 2);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_NE(s.find("2.00"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW((void)t.to_string());
+}
+
+TEST(FmtTest, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace acn

@@ -1,0 +1,205 @@
+#include "core/motion_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "support/test_util.hpp"
+
+namespace acn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Exact configurations.
+// ---------------------------------------------------------------------------
+
+TEST(MotionOracleTest, SingleIsolatedDevice) {
+  const StatePair state = test::make_state_1d({{0.1, 0.9}});
+  MotionOracle oracle(state, {.r = 0.05, .tau = 1});
+  const auto motions = oracle.maximal_motions(0);
+  ASSERT_EQ(motions.size(), 1u);
+  EXPECT_EQ(motions[0], DeviceSet({0}));
+}
+
+TEST(MotionOracleTest, TwoOverlappingMaximalMotions) {
+  // 1-D static chain: windows {0,1} and {1,2} are both maximal (0-2 too far).
+  const StatePair state = test::make_static_1d({0.10, 0.18, 0.26});
+  MotionOracle oracle(state, {.r = 0.05, .tau = 1});
+  const auto motions = oracle.maximal_motions(1);
+  ASSERT_EQ(motions.size(), 2u);
+  EXPECT_EQ(motions[0], DeviceSet({0, 1}));
+  EXPECT_EQ(motions[1], DeviceSet({1, 2}));
+}
+
+TEST(MotionOracleTest, MotionNeedsConsistencyAtBothInstants) {
+  // Devices adjacent at k-1 but torn apart at k: no common motion.
+  const StatePair state = test::make_state_1d({{0.1, 0.2}, {0.11, 0.9}});
+  MotionOracle oracle(state, {.r = 0.05, .tau = 1});
+  const auto motions = oracle.maximal_motions(0);
+  ASSERT_EQ(motions.size(), 1u);
+  EXPECT_EQ(motions[0], DeviceSet({0}));
+}
+
+TEST(MotionOracleTest, OnlyAbnormalDevicesParticipate) {
+  // Device 1 is normal; motions must ignore it.
+  const StatePair state =
+      test::make_state_1d({{0.10, 0.10}, {0.12, 0.12}, {0.14, 0.14}},
+                          DeviceSet({0, 2}));
+  MotionOracle oracle(state, {.r = 0.05, .tau = 1});
+  const auto motions = oracle.maximal_motions(0);
+  ASSERT_EQ(motions.size(), 1u);
+  EXPECT_EQ(motions[0], DeviceSet({0, 2}));
+}
+
+TEST(MotionOracleTest, RequestingNormalDeviceThrows) {
+  const StatePair state = test::make_state_1d({{0.1, 0.1}, {0.2, 0.2}}, DeviceSet({0}));
+  MotionOracle oracle(state, {.r = 0.05, .tau = 1});
+  EXPECT_THROW((void)oracle.maximal_motions(1), std::invalid_argument);
+}
+
+TEST(MotionOracleTest, DenseMotionsFilterByTau) {
+  // Four devices in one tight cluster.
+  const StatePair state = test::make_static_1d({0.10, 0.11, 0.12, 0.13});
+  MotionOracle oracle(state, {.r = 0.05, .tau = 3});
+  ASSERT_EQ(oracle.maximal_motions(0).size(), 1u);
+  EXPECT_EQ(oracle.dense_motions(0).size(), 1u);  // size 4 > tau = 3
+
+  MotionOracle stricter(state, {.r = 0.05, .tau = 4});
+  EXPECT_TRUE(stricter.dense_motions(0).empty());  // size 4 is not > 4
+}
+
+TEST(MotionOracleTest, ExcludingRemovedDevices) {
+  const StatePair state = test::make_static_1d({0.10, 0.12, 0.14, 0.16});
+  MotionOracle oracle(state, {.r = 0.05, .tau = 1});
+  const auto restricted = oracle.maximal_motions_excluding(0, DeviceSet({1, 2}));
+  ASSERT_EQ(restricted.size(), 1u);
+  EXPECT_EQ(restricted[0], DeviceSet({0, 3}));
+}
+
+TEST(MotionOracleTest, HasDenseMotionAvoiding) {
+  const StatePair state = test::make_static_1d({0.10, 0.12, 0.14, 0.16});
+  MotionOracle oracle(state, {.r = 0.05, .tau = 2});
+  EXPECT_TRUE(oracle.has_dense_motion_avoiding(0, DeviceSet{}));       // {0,1,2,3}
+  EXPECT_TRUE(oracle.has_dense_motion_avoiding(0, DeviceSet({3})));    // {0,1,2}
+  EXPECT_FALSE(oracle.has_dense_motion_avoiding(0, DeviceSet({1, 3})));
+}
+
+TEST(MotionOracleTest, PoolEnumerationFindsAllMaximalMotions) {
+  // Same geometry as the greedy counterexample in partition.hpp.
+  const StatePair state = test::make_static_1d({0.0, 0.225, 0.3, 0.325});
+  MotionOracle oracle(state, {.r = 0.125, .tau = 2});
+  const auto motions = oracle.maximal_motions_of_pool({0, 1, 2, 3});
+  ASSERT_EQ(motions.size(), 2u);
+  EXPECT_EQ(motions[0], DeviceSet({0, 1}));
+  EXPECT_EQ(motions[1], DeviceSet({1, 2, 3}));
+}
+
+TEST(MotionOracleTest, PoolEnumerationRespectsPoolRestriction) {
+  const StatePair state = test::make_static_1d({0.0, 0.225, 0.3, 0.325});
+  MotionOracle oracle(state, {.r = 0.125, .tau = 2});
+  const auto motions = oracle.maximal_motions_in_pool(1, {1, 2});
+  ASSERT_EQ(motions.size(), 1u);
+  EXPECT_EQ(motions[0], DeviceSet({1, 2}));
+  EXPECT_THROW((void)oracle.maximal_motions_in_pool(0, {1, 2}), std::invalid_argument);
+}
+
+TEST(MotionOracleTest, NeighbourhoodIsSymmetricAndWithin2r) {
+  const StatePair state = test::make_static_1d({0.10, 0.15, 0.50});
+  MotionOracle oracle(state, {.r = 0.05, .tau = 1});
+  const auto n0 = oracle.neighbourhood(0);
+  EXPECT_EQ(n0, (std::vector<DeviceId>{0, 1}));
+  const auto n2 = oracle.neighbourhood(2);
+  EXPECT_EQ(n2, (std::vector<DeviceId>{2}));
+}
+
+TEST(MotionOracleTest, CountersAdvance) {
+  const StatePair state = test::make_static_1d({0.10, 0.12, 0.14});
+  MotionOracle oracle(state, {.r = 0.05, .tau = 1});
+  (void)oracle.maximal_motions(0);
+  EXPECT_GE(oracle.counters().enumeration_calls, 1u);
+  EXPECT_GE(oracle.counters().windows_explored, 1u);
+  EXPECT_GE(oracle.counters().covers_generated, 1u);
+}
+
+TEST(MotionOracleTest, MemoizationReturnsSameObject) {
+  const StatePair state = test::make_static_1d({0.10, 0.12, 0.14});
+  MotionOracle oracle(state, {.r = 0.05, .tau = 1});
+  const auto& first = oracle.maximal_motions(0);
+  const auto calls = oracle.counters().enumeration_calls;
+  const auto& second = oracle.maximal_motions(0);
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(oracle.counters().enumeration_calls, calls);
+}
+
+TEST(MotionOracleTest, ZeroRadiusGroupsIdenticalTrajectoriesOnly) {
+  const StatePair state =
+      test::make_state_1d({{0.1, 0.5}, {0.1, 0.5}, {0.1, 0.500001}});
+  MotionOracle oracle(state, {.r = 0.0, .tau = 1});
+  const auto motions = oracle.maximal_motions(0);
+  ASSERT_EQ(motions.size(), 1u);
+  EXPECT_EQ(motions[0], DeviceSet({0, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// Property: canonical-window enumeration equals brute-force subset search.
+// Randomized over geometry, dimension, radius and density.
+// ---------------------------------------------------------------------------
+
+struct OracleSweepCase {
+  std::uint64_t seed;
+  std::size_t n;
+  std::size_t d;
+  double r;
+  double spread;  // points are sampled in [0, spread]^d to control density
+};
+
+class OracleBruteForceSweep : public ::testing::TestWithParam<OracleSweepCase> {};
+
+TEST_P(OracleBruteForceSweep, MatchesBruteForce) {
+  const auto& param = GetParam();
+  Rng rng(param.seed);
+  std::vector<std::vector<double>> prev(param.n, std::vector<double>(param.d));
+  std::vector<std::vector<double>> curr(param.n, std::vector<double>(param.d));
+  for (std::size_t j = 0; j < param.n; ++j) {
+    for (std::size_t i = 0; i < param.d; ++i) {
+      prev[j][i] = rng.uniform(0.0, param.spread);
+      curr[j][i] = rng.uniform(0.0, param.spread);
+    }
+  }
+  const StatePair state = test::make_state(prev, curr);
+  MotionOracle oracle(state, {.r = param.r, .tau = 1});
+
+  std::vector<DeviceId> all(param.n);
+  for (std::size_t j = 0; j < param.n; ++j) all[j] = static_cast<DeviceId>(j);
+
+  for (DeviceId j = 0; j < param.n; ++j) {
+    auto expected = test::brute_force_maximal_motions(state, param.r, all, j);
+    auto actual = oracle.maximal_motions(j);
+    std::sort(expected.begin(), expected.end());
+    ASSERT_EQ(actual.size(), expected.size())
+        << "device " << j << " seed " << param.seed;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_EQ(actual[i], expected[i]) << "device " << j << " seed " << param.seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGeometries, OracleBruteForceSweep,
+    ::testing::Values(
+        OracleSweepCase{1, 8, 1, 0.05, 0.3},   //
+        OracleSweepCase{2, 10, 1, 0.1, 0.5},   //
+        OracleSweepCase{3, 12, 1, 0.02, 0.2},  //
+        OracleSweepCase{4, 8, 2, 0.08, 0.4},   //
+        OracleSweepCase{5, 10, 2, 0.12, 0.5},  //
+        OracleSweepCase{6, 12, 2, 0.05, 0.25}, //
+        OracleSweepCase{7, 9, 3, 0.1, 0.4},    //
+        OracleSweepCase{8, 11, 2, 0.15, 0.4},  //
+        OracleSweepCase{9, 13, 1, 0.08, 0.25}, //
+        OracleSweepCase{10, 14, 2, 0.1, 0.45}, //
+        OracleSweepCase{11, 10, 2, 0.2, 0.5},  //
+        OracleSweepCase{12, 12, 3, 0.07, 0.3}));
+
+}  // namespace
+}  // namespace acn

@@ -1,0 +1,68 @@
+#include "core/state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "support/test_util.hpp"
+
+namespace acn {
+namespace {
+
+TEST(SnapshotTest, ValidatesUnitBox) {
+  EXPECT_THROW(Snapshot({Point{1.2}}), std::invalid_argument);
+  EXPECT_THROW(Snapshot({Point{-0.1, 0.5}}), std::invalid_argument);
+  EXPECT_NO_THROW(Snapshot({Point{0.0}, Point{1.0}}));
+}
+
+TEST(SnapshotTest, ValidatesConsistentDimensions) {
+  EXPECT_THROW(Snapshot({Point{0.1}, Point{0.1, 0.2}}), std::invalid_argument);
+}
+
+TEST(SnapshotTest, RejectsEmpty) {
+  EXPECT_THROW(Snapshot({}), std::invalid_argument);
+}
+
+TEST(StatePairTest, ValidatesMatchingShapes) {
+  Snapshot one({Point{0.1}});
+  Snapshot two({Point{0.1}, Point{0.2}});
+  EXPECT_THROW(StatePair(one, two, DeviceSet{}), std::invalid_argument);
+}
+
+TEST(StatePairTest, ValidatesAbnormalRange) {
+  Snapshot s({Point{0.1}, Point{0.2}});
+  EXPECT_THROW(StatePair(s, s, DeviceSet({5})), std::invalid_argument);
+  EXPECT_NO_THROW(StatePair(s, s, DeviceSet({1})));
+}
+
+TEST(StatePairTest, JointPositionsConcatenatePrevAndCurr) {
+  const StatePair state = test::make_state_1d({{0.1, 0.8}, {0.2, 0.9}});
+  EXPECT_EQ(state.joint(0), (Point{0.1, 0.8}));
+  EXPECT_EQ(state.joint(1), (Point{0.2, 0.9}));
+  EXPECT_EQ(state.joint_dim(), 2u);
+}
+
+TEST(StatePairTest, JointDistanceIsMaxOverInstants) {
+  // Devices close at k-1 (0.02 apart) but far at k (0.5 apart).
+  const StatePair state = test::make_state_1d({{0.10, 0.2}, {0.12, 0.7}});
+  EXPECT_NEAR(state.joint_distance(0, 1), 0.5, 1e-12);
+}
+
+TEST(StatePairTest, AbnormalMembership) {
+  const StatePair state =
+      test::make_state_1d({{0.1, 0.1}, {0.2, 0.2}, {0.3, 0.3}}, DeviceSet({0, 2}));
+  EXPECT_TRUE(state.is_abnormal(0));
+  EXPECT_FALSE(state.is_abnormal(1));
+  EXPECT_TRUE(state.is_abnormal(2));
+  EXPECT_EQ(state.abnormal(), DeviceSet({0, 2}));
+}
+
+TEST(StatePairTest, MultiDimensionalJointDistance) {
+  const StatePair state = test::make_state({{0.1, 0.2}, {0.15, 0.6}},
+                                           {{0.5, 0.5}, {0.55, 0.52}});
+  // prev distance = max(.05, .4) = .4; curr distance = max(.05, .02) = .05.
+  EXPECT_NEAR(state.joint_distance(0, 1), 0.4, 1e-12);
+}
+
+}  // namespace
+}  // namespace acn

@@ -1,0 +1,55 @@
+#include "detect/detector_bank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "detect/threshold.hpp"
+
+namespace acn {
+namespace {
+
+TEST(DetectorBankTest, FiresWhenAnyServiceFires) {
+  // Definition 5: a_k(j) = true if at least one service is abnormal.
+  const StepThresholdDetector prototype(0.1);
+  DetectorBank bank(prototype, 3);
+  EXPECT_FALSE(bank.observe(std::vector<double>{0.9, 0.9, 0.9}));
+  EXPECT_FALSE(bank.observe(std::vector<double>{0.9, 0.9, 0.9}));
+  EXPECT_TRUE(bank.observe(std::vector<double>{0.9, 0.4, 0.9}));
+  ASSERT_EQ(bank.fired_services().size(), 1u);
+  EXPECT_EQ(bank.fired_services()[0], 1u);
+}
+
+TEST(DetectorBankTest, MultipleServicesCanFireTogether) {
+  const StepThresholdDetector prototype(0.1);
+  DetectorBank bank(prototype, 2);
+  (void)bank.observe(std::vector<double>{0.9, 0.9});
+  EXPECT_TRUE(bank.observe(std::vector<double>{0.1, 0.2}));
+  EXPECT_EQ(bank.fired_services().size(), 2u);
+}
+
+TEST(DetectorBankTest, ServicesAreIndependent) {
+  const StepThresholdDetector prototype(0.1);
+  DetectorBank bank(prototype, 2);
+  (void)bank.observe(std::vector<double>{0.9, 0.1});
+  // Each service compares against its own last value.
+  EXPECT_FALSE(bank.observe(std::vector<double>{0.92, 0.12}));
+}
+
+TEST(DetectorBankTest, ValidatesArity) {
+  const StepThresholdDetector prototype(0.1);
+  DetectorBank bank(prototype, 2);
+  EXPECT_THROW((void)bank.observe(std::vector<double>{0.9}), std::invalid_argument);
+  EXPECT_THROW(DetectorBank(prototype, 0), std::invalid_argument);
+}
+
+TEST(DetectorBankTest, ResetClearsAllServices) {
+  const StepThresholdDetector prototype(0.1);
+  DetectorBank bank(prototype, 2);
+  (void)bank.observe(std::vector<double>{0.9, 0.9});
+  bank.reset();
+  // After reset the step detectors have no last sample: no alarm possible.
+  EXPECT_FALSE(bank.observe(std::vector<double>{0.1, 0.1}));
+  EXPECT_TRUE(bank.fired_services().empty());
+}
+
+}  // namespace
+}  // namespace acn

@@ -1,0 +1,175 @@
+// Behavioural tests for the statistical detectors: each must stay quiet on
+// its learned regime, fire on the kind of change it is built for, and not
+// let an alarm poison its model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "detect/cusum.hpp"
+#include "detect/ewma.hpp"
+#include "detect/holt_winters.hpp"
+#include "detect/kalman.hpp"
+
+namespace acn {
+namespace {
+
+TEST(EwmaDetectorTest, QuietOnStationaryNoise) {
+  EwmaDetector detector({.alpha = 0.2, .k_sigma = 6.0, .warmup = 10});
+  Rng rng(1);
+  int alarms = 0;
+  for (int i = 0; i < 500; ++i) {
+    alarms += detector.observe(0.9 + rng.normal(0.0, 0.01)) ? 1 : 0;
+  }
+  EXPECT_LE(alarms, 2);
+}
+
+TEST(EwmaDetectorTest, FiresOnStepChange) {
+  EwmaDetector detector({.alpha = 0.2, .k_sigma = 4.0, .warmup = 10});
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) (void)detector.observe(0.9 + rng.normal(0.0, 0.01));
+  EXPECT_TRUE(detector.observe(0.4));
+}
+
+TEST(EwmaDetectorTest, AlarmDoesNotPoisonLevel) {
+  EwmaDetector detector({.alpha = 0.2, .k_sigma = 4.0, .warmup = 10});
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) (void)detector.observe(0.9 + rng.normal(0.0, 0.01));
+  const double level_before = detector.level();
+  (void)detector.observe(0.2);  // outlier
+  EXPECT_NEAR(detector.level(), level_before, 1e-9);
+}
+
+TEST(EwmaDetectorTest, RejectsBadConfig) {
+  EXPECT_THROW(EwmaDetector({.alpha = 0.0}), std::invalid_argument);
+  EXPECT_THROW(EwmaDetector({.alpha = 1.5}), std::invalid_argument);
+  EXPECT_THROW(EwmaDetector({.alpha = 0.2, .k_sigma = -1.0}), std::invalid_argument);
+}
+
+TEST(CusumDetectorTest, QuietOnStationaryNoise) {
+  CusumDetector detector({.slack = 0.5, .threshold = 5.0, .warmup = 30});
+  Rng rng(4);
+  int alarms = 0;
+  for (int i = 0; i < 1000; ++i) {
+    alarms += detector.observe(0.5 + rng.normal(0.0, 0.02)) ? 1 : 0;
+  }
+  EXPECT_LE(alarms, 3);
+}
+
+TEST(CusumDetectorTest, DetectsSlowDrift) {
+  // A drift far below any single-sample threshold: CUSUM's home turf.
+  CusumDetector detector({.slack = 0.25, .threshold = 5.0, .warmup = 30});
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) (void)detector.observe(0.5 + rng.normal(0.0, 0.02));
+  bool fired = false;
+  double level = 0.5;
+  for (int i = 0; i < 300 && !fired; ++i) {
+    level -= 0.0015;  // ~0.075 sigma per step
+    fired = detector.observe(level + rng.normal(0.0, 0.02));
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(CusumDetectorTest, SumsResetAfterAlarm) {
+  CusumDetector detector({.slack = 0.5, .threshold = 3.0, .warmup = 10});
+  Rng rng(6);
+  for (int i = 0; i < 20; ++i) (void)detector.observe(0.5 + rng.normal(0.0, 0.01));
+  bool fired = false;
+  for (int i = 0; i < 50 && !fired; ++i) fired = detector.observe(0.3);
+  ASSERT_TRUE(fired);
+  EXPECT_EQ(detector.positive_sum(), 0.0);
+  EXPECT_EQ(detector.negative_sum(), 0.0);
+}
+
+TEST(CusumDetectorTest, RejectsBadConfig) {
+  EXPECT_THROW(CusumDetector({.slack = -0.1}), std::invalid_argument);
+  EXPECT_THROW(CusumDetector({.threshold = 0.0}), std::invalid_argument);
+  EXPECT_THROW(CusumDetector({.warmup = 1}), std::invalid_argument);
+}
+
+TEST(HoltWintersDetectorTest, TracksTrendWithoutAlarm) {
+  HoltWintersDetector detector({.alpha = 0.3, .beta = 0.2, .k_sigma = 6.0, .warmup = 20});
+  Rng rng(7);
+  int alarms = 0;
+  for (int i = 0; i < 300; ++i) {
+    const double level = 0.3 + 0.001 * i;  // steady ramp
+    alarms += detector.observe(level + rng.normal(0.0, 0.005)) ? 1 : 0;
+  }
+  EXPECT_LE(alarms, 3);  // the trend term absorbs the ramp
+}
+
+TEST(HoltWintersDetectorTest, FiresOnTrendBreak) {
+  HoltWintersDetector detector({.alpha = 0.3, .beta = 0.2, .k_sigma = 5.0, .warmup = 20});
+  Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    (void)detector.observe(0.3 + 0.001 * i + rng.normal(0.0, 0.005));
+  }
+  EXPECT_TRUE(detector.observe(0.1));
+}
+
+TEST(HoltWintersDetectorTest, SeasonalSignalAbsorbed) {
+  HoltWintersDetector seasonal({.alpha = 0.2,
+                                .beta = 0.05,
+                                .gamma = 0.3,
+                                .period = 8,
+                                .k_sigma = 6.0,
+                                .warmup = 32});
+  Rng rng(9);
+  int alarms = 0;
+  for (int i = 0; i < 400; ++i) {
+    const double wave = 0.6 + 0.1 * std::sin(2.0 * 3.14159265 * i / 8.0);
+    alarms += seasonal.observe(wave + rng.normal(0.0, 0.005)) ? 1 : 0;
+  }
+  EXPECT_LE(alarms, 4);
+}
+
+TEST(HoltWintersDetectorTest, RejectsBadConfig) {
+  EXPECT_THROW(HoltWintersDetector({.alpha = 0.0}), std::invalid_argument);
+  EXPECT_THROW(HoltWintersDetector({.gamma = 0.5, .period = 1}), std::invalid_argument);
+  EXPECT_THROW(HoltWintersDetector({.period = -2}), std::invalid_argument);
+}
+
+TEST(KalmanDetectorTest, QuietOnStationaryNoise) {
+  KalmanDetector detector({.process_noise = 1e-5,
+                           .observation_noise = 1e-3,
+                           .gate = 6.0,
+                           .warmup = 10});
+  Rng rng(10);
+  int alarms = 0;
+  for (int i = 0; i < 500; ++i) {
+    alarms += detector.observe(0.8 + rng.normal(0.0, 0.02)) ? 1 : 0;
+  }
+  EXPECT_LE(alarms, 2);
+}
+
+TEST(KalmanDetectorTest, FiresOnJump) {
+  KalmanDetector detector({.process_noise = 1e-5,
+                           .observation_noise = 1e-3,
+                           .gate = 4.0,
+                           .warmup = 10});
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) (void)detector.observe(0.8 + rng.normal(0.0, 0.01));
+  EXPECT_TRUE(detector.observe(0.3));
+  EXPECT_NEAR(detector.estimate(), 0.8, 0.05);  // alarm did not poison x
+}
+
+TEST(KalmanDetectorTest, EstimateConvergesToMean) {
+  KalmanDetector detector({.process_noise = 1e-6,
+                           .observation_noise = 1e-2,
+                           .gate = 8.0,
+                           .warmup = 5});
+  Rng rng(12);
+  for (int i = 0; i < 2000; ++i) (void)detector.observe(0.65 + rng.normal(0.0, 0.05));
+  EXPECT_NEAR(detector.estimate(), 0.65, 0.02);
+}
+
+TEST(KalmanDetectorTest, RejectsBadConfig) {
+  EXPECT_THROW(KalmanDetector({.process_noise = 0.0}), std::invalid_argument);
+  EXPECT_THROW(KalmanDetector({.observation_noise = -1.0}), std::invalid_argument);
+  EXPECT_THROW(
+      KalmanDetector({.process_noise = 1e-4, .observation_noise = 1e-3, .gate = 0.0}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acn

@@ -1,0 +1,62 @@
+#include "detect/threshold.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acn {
+namespace {
+
+TEST(StepThresholdTest, FiresOnLargeVariationOnly) {
+  StepThresholdDetector detector(0.1);
+  EXPECT_FALSE(detector.observe(0.9));   // first sample: no variation yet
+  EXPECT_FALSE(detector.observe(0.95));  // small move
+  EXPECT_TRUE(detector.observe(0.5));    // crash
+  EXPECT_FALSE(detector.observe(0.52));  // settled
+}
+
+TEST(StepThresholdTest, BoundaryIsNotAnAlarm) {
+  StepThresholdDetector detector(0.1);
+  (void)detector.observe(0.5);
+  EXPECT_FALSE(detector.observe(0.6));   // exactly threshold: not >
+  EXPECT_TRUE(detector.observe(0.701));  // just above
+}
+
+TEST(StepThresholdTest, ResetForgetsHistory) {
+  StepThresholdDetector detector(0.1);
+  (void)detector.observe(0.9);
+  detector.reset();
+  EXPECT_FALSE(detector.observe(0.1));  // no last sample after reset
+}
+
+TEST(StepThresholdTest, RejectsBadThreshold) {
+  EXPECT_THROW(StepThresholdDetector(0.0), std::invalid_argument);
+  EXPECT_THROW(StepThresholdDetector(-1.0), std::invalid_argument);
+}
+
+TEST(StepThresholdTest, CloneIsIndependent) {
+  StepThresholdDetector detector(0.1);
+  (void)detector.observe(0.9);
+  auto clone = detector.clone();
+  EXPECT_FALSE(clone->observe(0.1));  // clone starts from the prototype config
+  EXPECT_TRUE(detector.observe(0.1));
+}
+
+TEST(BandThresholdTest, FiresOutsideBand) {
+  BandThresholdDetector detector(0.3, 0.8);
+  EXPECT_FALSE(detector.observe(0.5));
+  EXPECT_FALSE(detector.observe(0.3));
+  EXPECT_FALSE(detector.observe(0.8));
+  EXPECT_TRUE(detector.observe(0.29));
+  EXPECT_TRUE(detector.observe(0.81));
+}
+
+TEST(BandThresholdTest, RejectsInvertedBand) {
+  EXPECT_THROW(BandThresholdDetector(0.8, 0.3), std::invalid_argument);
+}
+
+TEST(DetectorNamesAreInformative, Names) {
+  EXPECT_NE(StepThresholdDetector(0.1).name().find("step"), std::string::npos);
+  EXPECT_NE(BandThresholdDetector(0.1, 0.9).name().find("band"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace acn

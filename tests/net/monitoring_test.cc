@@ -1,0 +1,144 @@
+// End-to-end behaviour of the gateway swarm: detectors catch injected
+// faults, snapshots carry them into the characterizer, and the verdicts
+// separate local faults from subtree outages.
+#include "net/monitoring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "detect/ewma.hpp"
+
+namespace acn {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : topology({.regions = 2,
+                  .aggregations_per_region = 2,
+                  .gateways_per_aggregation = 8,
+                  .services = 2}),
+        network(topology, {.base_qos = 0.9, .noise_sigma = 0.005}, 42),
+        prototype({.alpha = 0.3, .k_sigma = 6.0, .warmup = 12}) {}
+
+  Topology topology;  // 32 gateways
+  QosNetwork network;
+  EwmaDetector prototype;
+};
+
+SwarmConfig swarm_config() {
+  SwarmConfig config;
+  config.model = {.r = 0.04, .tau = 3};
+  config.snapshot_interval = 8;
+  return config;
+}
+
+TEST(MonitoringSwarmTest, QuietNetworkStaysEssentiallySilent) {
+  Fixture f;
+  MonitoringSwarm swarm(f.topology, swarm_config(), f.prototype);
+  const FaultInjector faults;  // none
+  std::size_t abnormal_total = 0;
+  for (std::uint64_t t = 0; t < 64; ++t) {
+    const auto outcome = swarm.tick(f.network, faults);
+    if (outcome.has_value()) abnormal_total += outcome->abnormal.size();
+  }
+  // 32 gateways x 2 services x 64 ticks of pure noise: spurious alarms must
+  // stay in the per-mille range (here: <= 8 of 4096 samples).
+  EXPECT_LE(abnormal_total, 8u);
+}
+
+TEST(MonitoringSwarmTest, SnapshotCadence) {
+  Fixture f;
+  MonitoringSwarm swarm(f.topology, swarm_config(), f.prototype);
+  const FaultInjector faults;
+  int snapshots = 0;
+  for (std::uint64_t t = 0; t < 64; ++t) {
+    if (swarm.tick(f.network, faults).has_value()) ++snapshots;
+  }
+  EXPECT_EQ(snapshots, 8);
+}
+
+TEST(MonitoringSwarmTest, GatewayFaultClassifiedIsolated) {
+  Fixture f;
+  MonitoringSwarm swarm(f.topology, swarm_config(), f.prototype);
+  FaultInjector faults;
+  faults.inject({FaultSite::kGateway, 7, 0.5, 20, 8});
+  bool saw_isolated_7 = false;
+  for (std::uint64_t t = 0; t < 48; ++t) {
+    const auto outcome = swarm.tick(f.network, faults);
+    if (outcome.has_value() && outcome->isolated.contains(7)) saw_isolated_7 = true;
+  }
+  EXPECT_TRUE(saw_isolated_7);
+}
+
+TEST(MonitoringSwarmTest, AggregationOutageClassifiedMassive) {
+  Fixture f;
+  MonitoringSwarm swarm(f.topology, swarm_config(), f.prototype);
+  FaultInjector faults;
+  faults.inject({FaultSite::kAggregation, 1, 0.5, 20, 8});  // gateways 8..15
+  std::size_t massive_hits = 0;
+  for (std::uint64_t t = 0; t < 48; ++t) {
+    const auto outcome = swarm.tick(f.network, faults);
+    if (!outcome.has_value()) continue;
+    for (DeviceId g = 8; g < 16; ++g) {
+      if (outcome->massive.contains(g)) ++massive_hits;
+    }
+  }
+  EXPECT_GE(massive_hits, 6u);  // the bulk of the subtree flagged massive
+}
+
+TEST(MonitoringSwarmTest, MixedFaultsSeparated) {
+  Fixture f;
+  MonitoringSwarm swarm(f.topology, swarm_config(), f.prototype);
+  FaultInjector faults;
+  faults.inject({FaultSite::kAggregation, 0, 0.5, 20, 8});  // gateways 0..7
+  faults.inject({FaultSite::kGateway, 30, 0.6, 20, 8});     // lone gateway
+  bool lone_isolated = false;
+  bool subtree_massive = false;
+  for (std::uint64_t t = 0; t < 48; ++t) {
+    const auto outcome = swarm.tick(f.network, faults);
+    if (!outcome.has_value()) continue;
+    lone_isolated = lone_isolated || outcome->isolated.contains(30);
+    subtree_massive = subtree_massive || outcome->massive.contains(3);
+  }
+  EXPECT_TRUE(lone_isolated);
+  EXPECT_TRUE(subtree_massive);
+}
+
+TEST(MonitoringSwarmTest, TruthImpactedMatchesInjection) {
+  Fixture f;
+  MonitoringSwarm swarm(f.topology, swarm_config(), f.prototype);
+  FaultInjector faults;
+  faults.inject({FaultSite::kGateway, 3, 0.5, 0, 1000});
+  for (std::uint64_t t = 0; t < 16; ++t) {
+    const auto outcome = swarm.tick(f.network, faults);
+    if (outcome.has_value()) {
+      EXPECT_EQ(outcome->truth_impacted, DeviceSet({3}));
+    }
+  }
+}
+
+TEST(ReportCenterTest, TalliesAndSuppression) {
+  ReportCenter centre;
+  SnapshotOutcome outcome;
+  outcome.abnormal = DeviceSet({1, 2, 3, 4, 5});
+  outcome.isolated = DeviceSet({5});
+  outcome.massive = DeviceSet({1, 2, 3, 4});
+  centre.ingest(outcome);
+  EXPECT_EQ(centre.naive_calls(), 5u);
+  EXPECT_EQ(centre.filtered_calls(), 1u);
+  EXPECT_EQ(centre.network_alerts(), 1u);
+  EXPECT_NEAR(centre.suppression_ratio(), 0.8, 1e-12);
+
+  SnapshotOutcome quiet;
+  centre.ingest(quiet);
+  EXPECT_EQ(centre.network_alerts(), 1u);
+  EXPECT_EQ(centre.snapshots(), 2u);
+}
+
+TEST(SwarmConfigTest, Validation) {
+  SwarmConfig config;
+  config.snapshot_interval = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acn

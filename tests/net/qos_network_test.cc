@@ -1,0 +1,92 @@
+#include "net/qos_network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acn {
+namespace {
+
+Topology small_topo() {
+  return Topology({.regions = 2,
+                   .aggregations_per_region = 2,
+                   .gateways_per_aggregation = 3,
+                   .services = 2});
+}
+
+TEST(FaultInjectorTest, DegradationOnlyWhileActive) {
+  const Topology topo = small_topo();
+  FaultInjector faults;
+  faults.inject({FaultSite::kGateway, 1, 0.4, 10, 5});
+  EXPECT_EQ(faults.degradation(topo, 1, 0, 9), 0.0);
+  EXPECT_EQ(faults.degradation(topo, 1, 0, 10), 0.4);
+  EXPECT_EQ(faults.degradation(topo, 1, 0, 14), 0.4);
+  EXPECT_EQ(faults.degradation(topo, 1, 0, 15), 0.0);
+}
+
+TEST(FaultInjectorTest, OverlappingFaultsAccumulateAndSaturate) {
+  const Topology topo = small_topo();
+  FaultInjector faults;
+  faults.inject({FaultSite::kGateway, 0, 0.7, 0, 10});
+  faults.inject({FaultSite::kServiceBackend, 0, 0.6, 0, 10});
+  EXPECT_EQ(faults.degradation(topo, 0, 0, 5), 1.0);   // saturated
+  EXPECT_EQ(faults.degradation(topo, 0, 1, 5), 0.7);   // only the gateway fault
+  EXPECT_EQ(faults.degradation(topo, 3, 0, 5), 0.6);   // only the backend fault
+}
+
+TEST(FaultInjectorTest, ImpactedGatewaysGroundTruth) {
+  const Topology topo = small_topo();
+  FaultInjector faults;
+  faults.inject({FaultSite::kAggregation, 1, 0.5, 0, 10});
+  const DeviceSet impacted = faults.impacted_gateways(topo, 5);
+  EXPECT_EQ(impacted, DeviceSet({3, 4, 5}));
+  EXPECT_TRUE(faults.impacted_gateways(topo, 20).empty());
+}
+
+TEST(FaultInjectorTest, ValidatesFaults) {
+  FaultInjector faults;
+  EXPECT_THROW(faults.inject({FaultSite::kGateway, 0, 0.0, 0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(faults.inject({FaultSite::kGateway, 0, 1.5, 0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(faults.inject({FaultSite::kGateway, 0, 0.5, 0, 0}),
+               std::invalid_argument);
+}
+
+TEST(QosNetworkTest, TrueQosReflectsFaults) {
+  const Topology topo = small_topo();
+  QosNetwork network(topo, {.base_qos = 0.9, .noise_sigma = 0.0}, 1);
+  FaultInjector faults;
+  faults.inject({FaultSite::kRegion, 0, 0.3, 0, 10});
+  EXPECT_NEAR(network.true_qos(faults, 0, 0, 5), 0.6, 1e-12);
+  EXPECT_NEAR(network.true_qos(faults, 11, 0, 5), 0.9, 1e-12);  // other region
+}
+
+TEST(QosNetworkTest, SamplesStayInUnitInterval) {
+  const Topology topo = small_topo();
+  QosNetwork network(topo, {.base_qos = 0.95, .noise_sigma = 0.2}, 2);
+  const FaultInjector faults;
+  for (int i = 0; i < 500; ++i) {
+    const double s = network.sample(faults, 0, 0, i);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(QosNetworkTest, NoiseAveragesOut) {
+  const Topology topo = small_topo();
+  QosNetwork network(topo, {.base_qos = 0.9, .noise_sigma = 0.02}, 3);
+  const FaultInjector faults;
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += network.sample(faults, 2, 1, i);
+  EXPECT_NEAR(sum / n, 0.9, 0.005);
+}
+
+TEST(QosNetworkTest, ValidatesConfig) {
+  const Topology topo = small_topo();
+  EXPECT_THROW(QosNetwork(topo, {.base_qos = 0.0}, 1), std::invalid_argument);
+  EXPECT_THROW(QosNetwork(topo, {.base_qos = 0.9, .noise_sigma = -0.1}, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acn

@@ -1,0 +1,77 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acn {
+namespace {
+
+TEST(TopologyTest, SizesMultiplyOut) {
+  const Topology topo({.regions = 3,
+                       .aggregations_per_region = 4,
+                       .gateways_per_aggregation = 5,
+                       .services = 2});
+  EXPECT_EQ(topo.gateway_count(), 60u);
+  EXPECT_EQ(topo.aggregation_count(), 12u);
+  EXPECT_EQ(topo.service_count(), 2u);
+}
+
+TEST(TopologyTest, TreeStructureIsConsistent) {
+  const Topology topo({.regions = 2,
+                       .aggregations_per_region = 3,
+                       .gateways_per_aggregation = 4,
+                       .services = 1});
+  for (DeviceId g = 0; g < topo.gateway_count(); ++g) {
+    const std::size_t agg = topo.aggregation_of(g);
+    const std::size_t region = topo.region_of(g);
+    EXPECT_EQ(region, agg / 3);
+    const auto siblings = topo.gateways_under_aggregation(agg);
+    EXPECT_NE(std::find(siblings.begin(), siblings.end(), g), siblings.end());
+    const auto cousins = topo.gateways_under_region(region);
+    EXPECT_NE(std::find(cousins.begin(), cousins.end(), g), cousins.end());
+  }
+}
+
+TEST(TopologyTest, SubtreeSizes) {
+  const Topology topo({.regions = 2,
+                       .aggregations_per_region = 3,
+                       .gateways_per_aggregation = 4,
+                       .services = 1});
+  EXPECT_EQ(topo.gateways_under_aggregation(0).size(), 4u);
+  EXPECT_EQ(topo.gateways_under_region(1).size(), 12u);
+}
+
+TEST(TopologyTest, OnPathSemantics) {
+  const Topology topo({.regions = 2,
+                       .aggregations_per_region = 2,
+                       .gateways_per_aggregation = 2,
+                       .services = 2});
+  // Gateway fault touches only that gateway, all its services.
+  EXPECT_TRUE(topo.on_path(FaultSite::kGateway, 3, 3, 0));
+  EXPECT_TRUE(topo.on_path(FaultSite::kGateway, 3, 3, 1));
+  EXPECT_FALSE(topo.on_path(FaultSite::kGateway, 3, 2, 0));
+  // Aggregation fault touches its subtree only.
+  EXPECT_TRUE(topo.on_path(FaultSite::kAggregation, 1, 2, 0));
+  EXPECT_TRUE(topo.on_path(FaultSite::kAggregation, 1, 3, 1));
+  EXPECT_FALSE(topo.on_path(FaultSite::kAggregation, 1, 4, 0));
+  // Region fault.
+  EXPECT_TRUE(topo.on_path(FaultSite::kRegion, 0, 0, 0));
+  EXPECT_FALSE(topo.on_path(FaultSite::kRegion, 0, 7, 0));
+  // Service backend fault touches one service everywhere.
+  EXPECT_TRUE(topo.on_path(FaultSite::kServiceBackend, 1, 5, 1));
+  EXPECT_FALSE(topo.on_path(FaultSite::kServiceBackend, 1, 5, 0));
+  // Core fault touches everything.
+  EXPECT_TRUE(topo.on_path(FaultSite::kCore, 0, 7, 1));
+}
+
+TEST(TopologyTest, ValidatesConfigAndRanges) {
+  EXPECT_THROW(Topology({.regions = 0}), std::invalid_argument);
+  const Topology topo({.regions = 1,
+                       .aggregations_per_region = 1,
+                       .gateways_per_aggregation = 2,
+                       .services = 1});
+  EXPECT_THROW((void)topo.aggregation_of(99), std::out_of_range);
+  EXPECT_THROW((void)topo.gateways_under_region(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace acn

@@ -1,0 +1,65 @@
+#include "online/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acn {
+namespace {
+
+AdaptiveSampler::Config base_config() {
+  return {.min_interval = 1,
+          .max_interval = 64,
+          .initial_interval = 16,
+          .decrease = 0.5,
+          .increase = 1.5};
+}
+
+TEST(AdaptiveSamplerTest, AnomaliesShrinkTheInterval) {
+  AdaptiveSampler sampler(base_config());
+  EXPECT_EQ(sampler.next_interval(true), 8u);
+  EXPECT_EQ(sampler.next_interval(true), 4u);
+  EXPECT_EQ(sampler.next_interval(true), 2u);
+  EXPECT_EQ(sampler.next_interval(true), 1u);
+  EXPECT_EQ(sampler.next_interval(true), 1u);  // floor
+}
+
+TEST(AdaptiveSamplerTest, QuietGrowsTheInterval) {
+  AdaptiveSampler sampler(base_config());
+  EXPECT_EQ(sampler.next_interval(false), 24u);
+  EXPECT_EQ(sampler.next_interval(false), 36u);
+  EXPECT_EQ(sampler.next_interval(false), 54u);
+  EXPECT_EQ(sampler.next_interval(false), 64u);  // ceiling
+  EXPECT_EQ(sampler.next_interval(false), 64u);
+}
+
+TEST(AdaptiveSamplerTest, RecoversAfterBurst) {
+  AdaptiveSampler sampler(base_config());
+  for (int i = 0; i < 5; ++i) (void)sampler.next_interval(true);
+  EXPECT_EQ(sampler.current(), 1u);
+  for (int i = 0; i < 20; ++i) (void)sampler.next_interval(false);
+  EXPECT_EQ(sampler.current(), 64u);
+}
+
+TEST(AdaptiveSamplerTest, ResetRestoresInitial) {
+  AdaptiveSampler sampler(base_config());
+  (void)sampler.next_interval(true);
+  sampler.reset();
+  EXPECT_EQ(sampler.current(), 16u);
+}
+
+TEST(AdaptiveSamplerTest, Validation) {
+  auto config = base_config();
+  config.min_interval = 0;
+  EXPECT_THROW(AdaptiveSampler{config}, std::invalid_argument);
+  config = base_config();
+  config.initial_interval = 100;
+  EXPECT_THROW(AdaptiveSampler{config}, std::invalid_argument);
+  config = base_config();
+  config.decrease = 1.2;
+  EXPECT_THROW(AdaptiveSampler{config}, std::invalid_argument);
+  config = base_config();
+  config.increase = 0.9;
+  EXPECT_THROW(AdaptiveSampler{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acn

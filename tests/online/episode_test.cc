@@ -1,0 +1,93 @@
+#include "online/episode.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acn {
+namespace {
+
+TEST(EpisodeTest, FinalVerdictIsLastDecided) {
+  Episode e;
+  e.verdicts = {AnomalyClass::kUnresolved, AnomalyClass::kMassive,
+                AnomalyClass::kUnresolved};
+  EXPECT_EQ(e.final_verdict(), AnomalyClass::kMassive);
+  e.verdicts = {AnomalyClass::kUnresolved};
+  EXPECT_EQ(e.final_verdict(), AnomalyClass::kUnresolved);
+}
+
+TEST(EpisodeTest, FlappedDetectsClassSwitch) {
+  Episode e;
+  e.verdicts = {AnomalyClass::kIsolated, AnomalyClass::kMassive};
+  EXPECT_TRUE(e.flapped());
+  e.verdicts = {AnomalyClass::kMassive, AnomalyClass::kUnresolved,
+                AnomalyClass::kMassive};
+  EXPECT_FALSE(e.flapped());
+}
+
+TEST(EpisodeTest, SharpenedDetectsLateDecision) {
+  Episode e;
+  e.verdicts = {AnomalyClass::kUnresolved, AnomalyClass::kMassive};
+  EXPECT_TRUE(e.sharpened());
+  e.verdicts = {AnomalyClass::kMassive, AnomalyClass::kUnresolved};
+  EXPECT_FALSE(e.sharpened());
+}
+
+TEST(EpisodeTest, Duration) {
+  Episode e;
+  e.first_interval = 3;
+  e.last_interval = 7;
+  EXPECT_EQ(e.duration(), 5u);
+}
+
+TEST(EpisodeTrackerTest, OpensExtendsAndCloses) {
+  EpisodeTracker tracker(/*quiet_intervals=*/2);
+  tracker.observe(0, {{7, AnomalyClass::kMassive}});
+  tracker.observe(1, {{7, AnomalyClass::kMassive}});
+  EXPECT_EQ(tracker.open_count(), 1u);
+  tracker.observe(2, {});  // quiet 1
+  EXPECT_EQ(tracker.open_count(), 1u);
+  tracker.observe(3, {});  // quiet 2 -> closes
+  EXPECT_EQ(tracker.open_count(), 0u);
+  ASSERT_EQ(tracker.closed().size(), 1u);
+  const Episode& episode = tracker.closed()[0];
+  EXPECT_EQ(episode.device, 7u);
+  EXPECT_EQ(episode.first_interval, 0u);
+  EXPECT_EQ(episode.last_interval, 1u);
+  EXPECT_EQ(episode.verdicts.size(), 2u);
+}
+
+TEST(EpisodeTrackerTest, ReappearanceResetsQuietStreak) {
+  EpisodeTracker tracker(/*quiet_intervals=*/2);
+  tracker.observe(0, {{1, AnomalyClass::kIsolated}});
+  tracker.observe(1, {});  // quiet 1
+  tracker.observe(2, {{1, AnomalyClass::kIsolated}});  // back: same episode
+  tracker.observe(3, {});
+  tracker.observe(4, {});
+  ASSERT_EQ(tracker.closed().size(), 1u);
+  EXPECT_EQ(tracker.closed()[0].last_interval, 2u);
+  EXPECT_EQ(tracker.closed()[0].verdicts.size(), 2u);
+}
+
+TEST(EpisodeTrackerTest, IndependentDevices) {
+  EpisodeTracker tracker(1);
+  tracker.observe(0, {{1, AnomalyClass::kMassive}, {2, AnomalyClass::kIsolated}});
+  tracker.observe(1, {{1, AnomalyClass::kMassive}});
+  tracker.observe(2, {});
+  tracker.flush();
+  EXPECT_EQ(tracker.closed().size(), 2u);
+}
+
+TEST(EpisodeTrackerTest, FlushClosesOpenEpisodes) {
+  EpisodeTracker tracker(5);
+  tracker.observe(0, {{3, AnomalyClass::kUnresolved}});
+  EXPECT_EQ(tracker.open_count(), 1u);
+  tracker.flush();
+  EXPECT_EQ(tracker.open_count(), 0u);
+  EXPECT_EQ(tracker.closed().size(), 1u);
+}
+
+TEST(EpisodeTrackerTest, RejectsZeroQuiet) {
+  EXPECT_THROW(EpisodeTracker(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acn

@@ -1,0 +1,112 @@
+#include "online/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace acn {
+namespace {
+
+OnlineMonitor::Config monitor_config() {
+  OnlineMonitor::Config config;
+  config.model = {.r = 0.03, .tau = 3};
+  return config;
+}
+
+TEST(OnlineMonitorTest, FirstIntervalYieldsNoVerdicts) {
+  OnlineMonitor monitor(monitor_config());
+  const Snapshot s({Point{0.1}, Point{0.2}});
+  const IntervalReport report = monitor.observe(s, DeviceSet({0}));
+  EXPECT_TRUE(report.decisions.empty());
+  EXPECT_EQ(report.abnormal, DeviceSet({0}));
+}
+
+TEST(OnlineMonitorTest, CharacterizesFromSecondIntervalOn) {
+  OnlineMonitor monitor(monitor_config());
+  const Snapshot before({Point{0.90}, Point{0.91}, Point{0.92}, Point{0.93},
+                         Point{0.94}, Point{0.50}});
+  const Snapshot after({Point{0.30}, Point{0.31}, Point{0.32}, Point{0.33},
+                        Point{0.34}, Point{0.10}});
+  (void)monitor.observe(before, DeviceSet{});
+  const IntervalReport report =
+      monitor.observe(after, DeviceSet({0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(report.massive, DeviceSet({0, 1, 2, 3, 4}));
+  EXPECT_EQ(report.isolated, DeviceSet({5}));
+  EXPECT_TRUE(report.unresolved.empty());
+}
+
+TEST(OnlineMonitorTest, RejectsShapeChanges) {
+  OnlineMonitor monitor(monitor_config());
+  (void)monitor.observe(Snapshot({Point{0.1}, Point{0.2}}), DeviceSet{});
+  EXPECT_THROW((void)monitor.observe(Snapshot({Point{0.1}}), DeviceSet{}),
+               std::invalid_argument);
+}
+
+TEST(OnlineMonitorTest, EpisodesAccumulateAcrossIntervals) {
+  auto config = monitor_config();
+  config.episode_quiet_intervals = 1;
+  OnlineMonitor monitor(config);
+  const Snapshot a({Point{0.90}, Point{0.91}, Point{0.92}, Point{0.93}, Point{0.94}});
+  const Snapshot b({Point{0.40}, Point{0.41}, Point{0.42}, Point{0.43}, Point{0.44}});
+  const Snapshot c({Point{0.40}, Point{0.41}, Point{0.42}, Point{0.43}, Point{0.44}});
+  (void)monitor.observe(a, DeviceSet{});
+  (void)monitor.observe(b, DeviceSet({0, 1, 2, 3, 4}));  // massive episode
+  (void)monitor.observe(c, DeviceSet{});                 // quiet: closes
+  monitor.finish();
+  EXPECT_EQ(monitor.episodes().closed().size(), 5u);
+  for (const Episode& episode : monitor.episodes().closed()) {
+    EXPECT_EQ(episode.final_verdict(), AnomalyClass::kMassive);
+    EXPECT_EQ(episode.duration(), 1u);
+  }
+}
+
+TEST(OnlineMonitorTest, AdaptiveSamplerReactsToAnomalies) {
+  auto config = monitor_config();
+  config.adaptive = AdaptiveSampler::Config{.min_interval = 1,
+                                            .max_interval = 32,
+                                            .initial_interval = 8,
+                                            .decrease = 0.5,
+                                            .increase = 2.0};
+  OnlineMonitor monitor(config);
+  const Snapshot a({Point{0.9}, Point{0.8}});
+  (void)monitor.observe(a, DeviceSet{});
+  EXPECT_EQ(monitor.next_sampling_interval(), 16u);  // quiet: grew
+  const Snapshot b({Point{0.2}, Point{0.8}});
+  (void)monitor.observe(b, DeviceSet({0}));
+  EXPECT_EQ(monitor.next_sampling_interval(), 8u);  // anomaly: shrank
+}
+
+TEST(OnlineMonitorTest, DrivesGeneratedWorkload) {
+  ScenarioParams params;
+  params.n = 300;
+  params.d = 2;
+  params.model = {.r = 0.03, .tau = 3};
+  params.errors_per_step = 6;
+  params.isolated_probability = 0.5;
+  params.seed = 77;
+  params.massive_anchor_retries = 8;
+  ScenarioGenerator generator(params);
+
+  OnlineMonitor::Config config;
+  config.model = params.model;
+  OnlineMonitor monitor(config);
+
+  // Prime with the initial state, then stream generated intervals.
+  (void)monitor.observe(Snapshot(generator.positions()), DeviceSet{});
+  std::size_t verdicts = 0;
+  for (int k = 0; k < 6; ++k) {
+    const ScenarioStep step = generator.advance();
+    const IntervalReport report =
+        monitor.observe(step.state.curr(), step.truth.abnormal);
+    verdicts += report.decisions.size();
+    // Certainty verdicts must respect ground truth (R3 on by default).
+    EXPECT_TRUE(report.massive.is_subset_of(step.truth.truly_massive));
+    EXPECT_TRUE(report.isolated.is_subset_of(step.truth.truly_isolated));
+  }
+  EXPECT_GT(verdicts, 0u);
+  monitor.finish();
+  EXPECT_GT(monitor.episodes().closed().size(), 0u);
+}
+
+}  // namespace
+}  // namespace acn

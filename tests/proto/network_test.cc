@@ -1,0 +1,87 @@
+#include "proto/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acn {
+namespace {
+
+Message make_message(DeviceId from, DeviceId to) {
+  Message m;
+  m.type = MessageType::kTrajectoryQuery;
+  m.from = from;
+  m.to = to;
+  return m;
+}
+
+TEST(SimulatedNetworkTest, DeliversAfterLatency) {
+  SimulatedNetwork net(4, {.min_latency = 2, .max_latency = 2}, 1);
+  net.send(make_message(0, 1));
+  EXPECT_TRUE(net.deliver(1).empty());  // t = 0
+  net.tick();
+  EXPECT_TRUE(net.deliver(1).empty());  // t = 1
+  net.tick();
+  const auto delivered = net.deliver(1);  // t = 2
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].from, 0u);
+  EXPECT_TRUE(net.idle());
+}
+
+TEST(SimulatedNetworkTest, LatencyWithinBounds) {
+  SimulatedNetwork net(2, {.min_latency = 1, .max_latency = 5}, 7);
+  for (int i = 0; i < 50; ++i) net.send(make_message(0, 1));
+  std::size_t received = 0;
+  for (int t = 0; t <= 5; ++t) {
+    net.tick();
+    received += net.deliver(1).size();
+  }
+  EXPECT_EQ(received, 50u);  // everything arrives within max latency
+}
+
+TEST(SimulatedNetworkTest, TrafficAccounting) {
+  SimulatedNetwork net(3, {.min_latency = 1, .max_latency = 1}, 2);
+  net.send(make_message(0, 1));
+  net.send(make_message(0, 2));
+  net.tick();
+  (void)net.deliver(1);
+  (void)net.deliver(2);
+  EXPECT_EQ(net.traffic(0).messages_sent, 2u);
+  EXPECT_EQ(net.traffic(1).messages_received, 1u);
+  EXPECT_GT(net.traffic(0).bytes_sent, 0u);
+  EXPECT_EQ(net.total_traffic().messages_sent, 2u);
+  EXPECT_EQ(net.total_traffic().messages_received, 2u);
+}
+
+TEST(SimulatedNetworkTest, LossDropsMessages) {
+  SimulatedNetwork net(2, {.min_latency = 1, .max_latency = 1, .loss_rate = 1.0}, 3);
+  net.send(make_message(0, 1));
+  net.tick();
+  EXPECT_TRUE(net.deliver(1).empty());
+  EXPECT_EQ(net.dropped(), 1u);
+  EXPECT_TRUE(net.idle());  // dropped messages are not in flight
+}
+
+TEST(SimulatedNetworkTest, Validation) {
+  EXPECT_THROW(SimulatedNetwork(0, {}, 1), std::invalid_argument);
+  EXPECT_THROW(SimulatedNetwork(2, {.min_latency = 5, .max_latency = 1}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(SimulatedNetwork(2, {.loss_rate = 1.5}, 1), std::invalid_argument);
+  SimulatedNetwork net(2, {}, 1);
+  EXPECT_THROW(net.send(make_message(0, 9)), std::out_of_range);
+}
+
+TEST(MessageTest, WireSizeReflectsPayload) {
+  Message query = make_message(0, 1);
+  Message reply;
+  reply.type = MessageType::kTrajectoryReply;
+  reply.prev_position = Point{0.1, 0.2};
+  reply.curr_position = Point{0.3, 0.4};
+  EXPECT_GT(reply.wire_bytes(), query.wire_bytes());
+
+  Message neighbours;
+  neighbours.type = MessageType::kNeighbourReply;
+  neighbours.neighbour_ids = {1, 2, 3, 4};
+  EXPECT_EQ(neighbours.wire_bytes(), 16u + 4u * 4u);
+}
+
+}  // namespace
+}  // namespace acn

@@ -1,0 +1,142 @@
+// The distributed protocol must reach the same verdicts as the centralized
+// characterizer — the 4r-locality theorem, executed over a real message
+// exchange with latency (and, separately, with loss).
+#include "proto/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+#include "support/test_util.hpp"
+
+namespace acn {
+namespace {
+
+ProtocolDriver::Config driver_config(Params model) {
+  ProtocolDriver::Config config;
+  config.model = model;
+  config.network = {.min_latency = 1, .max_latency = 3};
+  return config;
+}
+
+TEST(ProtocolTest, LonelyDeviceDecidesWithoutNeighbours) {
+  const StatePair state = test::make_state_1d({{0.1, 0.9}});
+  ProtocolDriver driver(state, driver_config({.r = 0.05, .tau = 1}), 1);
+  const auto decisions = driver.run();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].cls, AnomalyClass::kIsolated);
+  EXPECT_EQ(decisions[0].view_size, 1u);
+}
+
+TEST(ProtocolTest, Figure3VerdictsMatchCentralized) {
+  const StatePair state = test::make_state_1d({
+      {0.10, 0.50}, {0.14, 0.51}, {0.16, 0.52}, {0.18, 0.53}, {0.22, 0.54},
+  });
+  const Params model{.r = 0.05, .tau = 3};
+  ProtocolDriver driver(state, driver_config(model), 2);
+  const auto decisions = driver.run();
+  ASSERT_EQ(decisions.size(), 5u);
+  Characterizer central(state, model);
+  for (const auto& decision : decisions) {
+    EXPECT_EQ(decision.cls, central.characterize(decision.device).cls)
+        << "device " << decision.device;
+  }
+  EXPECT_EQ(driver.timed_out(), 0u);
+}
+
+class ProtocolEquivalenceSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProtocolEquivalenceSweep, DistributedEqualsCentralizedOnWorkloads) {
+  ScenarioParams params;
+  params.n = 300;
+  params.d = 2;
+  params.model = {.r = 0.04, .tau = 3};
+  params.errors_per_step = 8;
+  params.isolated_probability = 0.4;
+  params.concomitance = 0.4;  // provoke Theorem-7 territory too
+  params.massive_anchor_retries = 8;
+  params.seed = GetParam();
+  ScenarioGenerator generator(params);
+  const ScenarioStep step = generator.advance();
+  if (step.truth.abnormal.empty()) GTEST_SKIP();
+
+  ProtocolDriver driver(step.state, driver_config(params.model), GetParam());
+  const auto decisions = driver.run();
+  ASSERT_EQ(decisions.size(), step.truth.abnormal.size());
+
+  Characterizer central(step.state, params.model);
+  for (const auto& decision : decisions) {
+    const Decision expected = central.characterize(decision.device);
+    EXPECT_EQ(decision.cls, expected.cls) << "device " << decision.device
+                                          << " seed " << GetParam();
+    EXPECT_EQ(decision.rule, expected.rule) << "device " << decision.device;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolEquivalenceSweep,
+                         ::testing::Range(std::uint64_t{1}, std::uint64_t{13}));
+
+TEST(ProtocolTest, ViewIsBoundedBy4rShell) {
+  // Every queried trajectory sits within 4r of the decider.
+  const StatePair state = test::make_static_1d(
+      {0.10, 0.12, 0.14, 0.16, 0.30, 0.50, 0.52, 0.54, 0.56, 0.90});
+  const Params model{.r = 0.05, .tau = 2};
+  ProtocolDriver driver(state, driver_config(model), 5);
+  const auto decisions = driver.run();
+  for (const auto& decision : decisions) {
+    // view_size - 1 trajectories, all within 4r (directory guarantees it;
+    // re-check geometrically through the state).
+    std::size_t within = 0;
+    for (const DeviceId other : state.abnormal()) {
+      if (state.joint_distance(decision.device, other) <= 2.0 * model.window()) {
+        ++within;
+      }
+    }
+    EXPECT_LE(decision.view_size, within + 1);
+  }
+}
+
+TEST(ProtocolTest, TrafficScalesWithNeighbourhoodNotFleet) {
+  // Doubling the fleet with *far-away* devices must not change a decider's
+  // traffic: the protocol is local by construction.
+  const auto run_traffic = [](const std::vector<double>& positions) {
+    StatePair state = test::make_static_1d(positions);
+    ProtocolDriver driver(state, driver_config({.r = 0.05, .tau = 2}), 3);
+    const auto decisions = driver.run();
+    for (const auto& d : decisions) {
+      if (d.device == 0) return d.trajectories;
+    }
+    return std::uint64_t{0};
+  };
+  const auto small = run_traffic({0.10, 0.12, 0.14});
+  const auto large =
+      run_traffic({0.10, 0.12, 0.14, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90});
+  EXPECT_EQ(small, large);
+}
+
+TEST(ProtocolTest, LossyNetworkTimesOutHonestly) {
+  const StatePair state = test::make_static_1d({0.10, 0.12, 0.14, 0.16});
+  auto config = driver_config({.r = 0.05, .tau = 2});
+  config.network.loss_rate = 1.0;  // nothing ever arrives
+  config.max_ticks = 50;
+  ProtocolDriver driver(state, config, 4);
+  const auto decisions = driver.run();
+  EXPECT_EQ(driver.timed_out(), decisions.size());
+  for (const auto& decision : decisions) {
+    EXPECT_EQ(decision.cls, AnomalyClass::kUnresolved);  // never over-claims
+  }
+}
+
+TEST(ProtocolTest, DecisionLatencyIsBounded) {
+  const StatePair state = test::make_static_1d({0.10, 0.12, 0.14, 0.16});
+  auto config = driver_config({.r = 0.05, .tau = 2});
+  config.network = {.min_latency = 1, .max_latency = 4};
+  ProtocolDriver driver(state, config, 6);
+  const auto decisions = driver.run();
+  for (const auto& decision : decisions) {
+    // Two query/reply rounds at max 4 ticks per hop = 16 ticks worst case.
+    EXPECT_LE(decision.decided_at, 16u);
+  }
+}
+
+}  // namespace
+}  // namespace acn

@@ -1,0 +1,67 @@
+// The per-interval error-count override used by the adaptive-sampling
+// studies (generator contract: overriding A must not disturb determinism
+// or invariants).
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace acn {
+namespace {
+
+ScenarioParams params_with_seed(std::uint64_t seed) {
+  ScenarioParams params;
+  params.n = 300;
+  params.d = 2;
+  params.model = {.r = 0.03, .tau = 3};
+  params.errors_per_step = 7;
+  params.isolated_probability = 0.5;
+  params.seed = seed;
+  return params;
+}
+
+TEST(AdvanceOverrideTest, ZeroErrorsYieldsQuietInterval) {
+  ScenarioGenerator generator(params_with_seed(1));
+  const ScenarioStep step = generator.advance(0);
+  EXPECT_TRUE(step.truth.abnormal.empty());
+  EXPECT_TRUE(step.truth.events.empty());
+  EXPECT_EQ(step.state.abnormal().size(), 0u);
+}
+
+TEST(AdvanceOverrideTest, QuietIntervalKeepsPositions) {
+  ScenarioGenerator generator(params_with_seed(2));
+  const auto before = generator.positions();
+  (void)generator.advance(0);
+  EXPECT_EQ(generator.positions(), before);
+}
+
+TEST(AdvanceOverrideTest, OverrideControlsEventCount) {
+  ScenarioGenerator generator(params_with_seed(3));
+  const ScenarioStep small = generator.advance(2);
+  EXPECT_LE(small.truth.events.size(), 2u);
+  const ScenarioStep large = generator.advance(40);
+  EXPECT_GT(large.truth.events.size(), small.truth.events.size());
+}
+
+TEST(AdvanceOverrideTest, DefaultAdvanceUsesConfiguredCount) {
+  ScenarioGenerator a(params_with_seed(4));
+  ScenarioGenerator b(params_with_seed(4));
+  const ScenarioStep sa = a.advance();
+  const ScenarioStep sb = b.advance(7);
+  EXPECT_EQ(sa.truth.abnormal, sb.truth.abnormal);
+}
+
+TEST(AdvanceOverrideTest, OverrideAboveNClamps) {
+  ScenarioGenerator generator(params_with_seed(5));
+  EXPECT_NO_THROW((void)generator.advance(100'000));
+}
+
+TEST(AdvanceOverrideTest, StepCountAdvancesEitherWay) {
+  ScenarioGenerator generator(params_with_seed(6));
+  (void)generator.advance();
+  (void)generator.advance(0);
+  (void)generator.advance(3);
+  EXPECT_EQ(generator.step_count(), 3u);
+}
+
+}  // namespace
+}  // namespace acn
