@@ -79,22 +79,33 @@ bool MotionOracle::has_dense_motion_avoiding(DeviceId j, const DeviceSet& remove
 }
 
 bool MotionOracle::exists_dense_cover(std::vector<DeviceId> pool, DeviceId anchor) {
-  if (pool.size() <= params_.tau) return false;
-  const double window = params_.window();
+  return exists_dense_window_cover(state_, params_, pool, anchor,
+                                   &counters_.windows_explored);
+}
+
+bool exists_dense_window_cover(const StatePair& state, const Params& params,
+                               std::span<const DeviceId> pool,
+                               std::optional<DeviceId> anchor,
+                               std::uint64_t* windows_explored) {
+  if (pool.size() <= params.tau) return false;
+  const double window = params.window();
 
   // Same canonical-window slide as `enumerate`, but returns at the first
   // window whose cover is dense — no maximal-family materialization.
   const std::function<bool(std::span<const DeviceId>, std::size_t)> slide_any =
       [&](std::span<const DeviceId> active, std::size_t dim_index) -> bool {
-    if (active.size() <= params_.tau) return false;  // can only shrink further
-    if (dim_index == state_.joint_dim()) return true;
+    if (active.size() <= params.tau) return false;  // can only shrink further
+    if (dim_index == state.joint_dim()) return true;
 
     std::vector<double> edges;
     edges.reserve(active.size());
-    const double ax = state_.joint(anchor)[dim_index];
     for (const DeviceId id : active) {
-      const double x = state_.joint(id)[dim_index];
-      if (x >= ax - window && x <= ax) edges.push_back(x);
+      const double x = state.joint(id)[dim_index];
+      if (anchor.has_value()) {
+        const double ax = state.joint(*anchor)[dim_index];
+        if (x < ax - window || x > ax) continue;
+      }
+      edges.push_back(x);
     }
     std::sort(edges.begin(), edges.end());
     edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
@@ -102,10 +113,10 @@ bool MotionOracle::exists_dense_cover(std::vector<DeviceId> pool, DeviceId ancho
     std::vector<DeviceId> next;
     next.reserve(active.size());
     for (const double lower : edges) {
-      ++counters_.windows_explored;
+      if (windows_explored != nullptr) ++*windows_explored;
       next.clear();
       for (const DeviceId id : active) {
-        const double x = state_.joint(id)[dim_index];
+        const double x = state.joint(id)[dim_index];
         if (x >= lower && x <= lower + window) next.push_back(id);
       }
       if (slide_any(next, dim_index + 1)) return true;

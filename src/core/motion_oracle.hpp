@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -37,6 +38,18 @@ struct OracleCounters {
   std::uint64_t covers_generated = 0;       ///< window covers materialized
   std::uint64_t enumeration_calls = 0;      ///< maxMotions invocations (pre-memo)
 };
+
+/// True iff `pool` holds a tau-dense motion: a canonical-window slide with
+/// early exit at the first full-dimensional window covering more than tau
+/// devices (never materializes maximal families). When `anchor` is set,
+/// windows are constrained to cover the anchor. `windows_explored`, when
+/// non-null, is incremented per window visited. Shared by
+/// MotionOracle::has_dense_motion_avoiding and the partition validity
+/// checker (condition C1), which must agree on the same state.
+[[nodiscard]] bool exists_dense_window_cover(const StatePair& state, const Params& params,
+                                             std::span<const DeviceId> pool,
+                                             std::optional<DeviceId> anchor,
+                                             std::uint64_t* windows_explored = nullptr);
 
 class MotionOracle {
  public:

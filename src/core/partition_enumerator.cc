@@ -111,18 +111,8 @@ bool PartitionEnumerator::component_partition_valid(
       sparse_union.insert(sparse_union.end(), cls.begin(), cls.end());
     }
   }
-  // C1: no dense motion within the sparse union. Equivalent maximal-motion
-  // formulation (see partition.hpp); here the pool is small, so we check via
-  // canonical windows through a throwaway oracle-free scan: any dense motion
-  // inside the sparse union would be contained in a window of side 2r, so we
-  // test every window anchored at a member's joint coordinates.
-  if (sparse_union.size() > params_.tau) {
-    MotionOracle oracle(state_, params_);
-    for (const DeviceSet& motion : oracle.maximal_motions_of_pool(sparse_union)) {
-      if (is_dense(motion, params_.tau)) return false;
-    }
-  }
-  // C2: no sparse-union device can join a dense class.
+  // C2 first: no sparse-union device can join a dense class. Cheap (box
+  // fits), so it gates the window slide below.
   for (const auto* cls : dense) {
     JointBox box(state_.joint_dim());
     for (const DeviceId id : *cls) box.add(state_.joint(id));
@@ -130,7 +120,11 @@ bool PartitionEnumerator::component_partition_valid(
       if (box.would_fit(state_.joint(ell), params_.window())) return false;
     }
   }
-  return true;
+  // C1: no dense motion within the sparse union, checked by an unanchored
+  // early-exit window slide. (The maximal-motion formulation of
+  // partition.hpp is equivalent but materializes whole families; this check
+  // runs once per enumerated partition and must stay cheap.)
+  return !exists_dense_window_cover(state_, params_, sparse_union, std::nullopt);
 }
 
 PartitionEnumerator::ComponentScan PartitionEnumerator::scan_component(

@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# Record bench trajectories: run every bench binary and wrap its stdout and
+# wall-clock seconds into BENCH_<name>.json, one file per bench, so PRs can
+# commit/compare runs over time.
+#
+# Usage: tools/record_bench.sh [build-dir] [out-dir]
+set -eu
+
+build_dir=${1:-build}
+out_dir=${2:-.}
+
+if [ ! -d "$build_dir/bench" ]; then
+  echo "error: $build_dir/bench not found; build first:" >&2
+  echo "  cmake -B $build_dir -S . && cmake --build $build_dir --target bench -j" >&2
+  exit 1
+fi
+
+# Emit a JSON string literal for stdin (escape backslash, quote, newline, tab).
+json_escape() {
+  sed -e 's/\\/\\\\/g' -e 's/"/\\"/g' -e 's/\t/\\t/g' |
+    awk 'NR>1 {printf "\\n"} {printf "%s", $0}'
+}
+
+status=0
+for bin in "$build_dir"/bench/bench_*; do
+  [ -x "$bin" ] || continue
+  name=$(basename "$bin")
+  out_file="$out_dir/BENCH_${name#bench_}.json"
+  echo "== $name -> $out_file"
+  start=$(date +%s)
+  if output=$("$bin" 2>&1); then
+    ok=true
+  else
+    ok=false
+    status=1
+  fi
+  elapsed=$(( $(date +%s) - start ))
+  {
+    printf '{\n'
+    printf '  "bench": "%s",\n' "$name"
+    printf '  "recorded_at": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "elapsed_seconds": %s,\n' "$elapsed"
+    printf '  "ok": %s,\n' "$ok"
+    printf '  "stdout": "%s"\n' "$(printf '%s' "$output" | json_escape)"
+    printf '}\n'
+  } > "$out_file"
+done
+exit $status
