@@ -1,0 +1,133 @@
+// End-to-end characterize_all timings over the §VII-A workload — the perf
+// trajectory anchor for the snapshot-level motion plane (ISSUE 2).
+//
+// For every (n, A) cell the bench generates `steps` scenario intervals,
+// then times a full characterize_all per interval. Timings exclude
+// scenario generation; each timed run constructs its own Characterizer,
+// so per-snapshot precomputation (grid build, motion-family enumeration)
+// is charged to the run — exactly what the online monitor pays per
+// interval.
+//
+// `--smoke` runs a single small cell (CI-sized) and exits non-zero if the
+// serial and parallel paths ever disagree.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "core/characterizer.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+struct CellResult {
+  double serial_ms_per_step = 0.0;
+  double parallel_ms_per_step = 0.0;
+  double abnormal_mean = 0.0;
+  bool ok = true;
+};
+
+CellResult run_cell(std::size_t n, std::uint32_t errors, std::uint64_t steps,
+                    bool smoke) {
+  acn::ScenarioParams params;
+  params.n = n;
+  params.errors_per_step = errors;
+  params.seed = 42;
+
+  std::vector<acn::ScenarioStep> generated;
+  generated.reserve(steps);
+  acn::ScenarioGenerator generator(params);
+  for (std::uint64_t k = 0; k < steps; ++k) generated.push_back(generator.advance());
+
+  CellResult result;
+  for (const acn::ScenarioStep& step : generated) {
+    result.abnormal_mean += static_cast<double>(step.state.abnormal().size());
+  }
+  result.abnormal_mean /= static_cast<double>(steps);
+
+  // Warm-up pass (page in the state, stabilize the allocator), untimed.
+  {
+    acn::Characterizer warm(generated[0].state, params.model);
+    (void)warm.characterize_all();
+  }
+
+  const auto serial_start = Clock::now();
+  std::vector<acn::CharacterizationSets> serial_sets;
+  serial_sets.reserve(steps);
+  for (const acn::ScenarioStep& step : generated) {
+    acn::Characterizer characterizer(step.state, params.model);
+    serial_sets.push_back(characterizer.characterize_all());
+  }
+  result.serial_ms_per_step = ms_since(serial_start) / static_cast<double>(steps);
+
+  // Parallel path: hardware concurrency; in smoke mode an explicit 4-worker
+  // pool, so the thread machinery is exercised even on single-core CI.
+  const unsigned threads = smoke ? 4 : 0;
+  const auto parallel_start = Clock::now();
+  std::vector<acn::CharacterizationSets> parallel_sets;
+  parallel_sets.reserve(steps);
+  for (const acn::ScenarioStep& step : generated) {
+    acn::Characterizer characterizer(step.state, params.model);
+    parallel_sets.push_back(characterizer.characterize_all_parallel(threads));
+  }
+  result.parallel_ms_per_step = ms_since(parallel_start) / static_cast<double>(steps);
+
+  for (std::size_t k = 0; k < generated.size(); ++k) {
+    const auto& sets = serial_sets[k];
+    if (sets.isolated.size() + sets.massive.size() + sets.unresolved.size() !=
+        generated[k].state.abnormal().size()) {
+      result.ok = false;
+    }
+    // Byte-identical serial/parallel verdicts, the plane's core guarantee.
+    if (parallel_sets[k].isolated != sets.isolated ||
+        parallel_sets[k].massive != sets.massive ||
+        parallel_sets[k].unresolved != sets.unresolved) {
+      result.ok = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+  std::printf("# bench_characterize_all  d=2 r=0.03 tau=3 G=0.5 seed=42%s\n",
+              smoke ? "  (smoke)" : "");
+  std::printf(
+      "| n | A | mean |A_k| | serial ms/step | parallel ms/step | ok |\n");
+  std::printf("|---|---|---|---|---|---|\n");
+
+  const std::size_t ns_full[] = {1000, 5000, 20000};
+  const std::uint32_t as_full[] = {10, 40, 80};
+  const std::size_t ns_smoke[] = {1000};
+  const std::uint32_t as_smoke[] = {10};
+
+  const auto* ns = smoke ? ns_smoke : ns_full;
+  const auto* as = smoke ? as_smoke : as_full;
+  const std::size_t n_count = smoke ? 1 : 3;
+  const std::size_t a_count = smoke ? 1 : 3;
+  // Device density (and so ball population and family sizes) grows with n;
+  // fewer repetitions keep the large cells recordable at seed speed.
+  const std::uint64_t steps_full[] = {5, 3, 2};
+
+  bool all_ok = true;
+  for (std::size_t i = 0; i < n_count; ++i) {
+    for (std::size_t j = 0; j < a_count; ++j) {
+      const std::uint64_t steps = smoke ? 2 : steps_full[i];
+      const CellResult cell = run_cell(ns[i], as[j], steps, smoke);
+      all_ok = all_ok && cell.ok;
+      std::printf("| %zu | %u | %.1f | %.3f | %.3f | %s |\n", ns[i], as[j],
+                  cell.abnormal_mean, cell.serial_ms_per_step,
+                  cell.parallel_ms_per_step, cell.ok ? "yes" : "NO");
+      std::fflush(stdout);
+    }
+  }
+  return all_ok ? 0 : 1;
+}

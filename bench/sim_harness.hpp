@@ -17,12 +17,13 @@ struct HarnessResult {
 };
 
 inline HarnessResult run_scenario(const ScenarioParams& params, std::uint64_t steps,
-                                  const CharacterizeOptions& options = {}) {
+                                  const CharacterizeOptions& options = {},
+                                  unsigned threads = 1) {
   HarnessResult result;
   ScenarioGenerator generator(params);
   for (std::uint64_t k = 0; k < steps; ++k) {
     const ScenarioStep step = generator.advance();
-    result.metrics.add(evaluate_step(step, params.model, options));
+    result.metrics.add(evaluate_step(step, params.model, options, threads));
     result.dropped_errors += step.truth.dropped_errors;
   }
   result.steps = steps;

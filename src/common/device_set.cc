@@ -1,12 +1,24 @@
 #include "common/device_set.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace acn {
 
 DeviceSet::DeviceSet(std::vector<DeviceId> ids) : ids_(std::move(ids)) {
   std::sort(ids_.begin(), ids_.end());
   ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+DeviceSet::DeviceSet(std::span<const DeviceId> ids)
+    : DeviceSet(std::vector<DeviceId>(ids.begin(), ids.end())) {}
+
+DeviceSet DeviceSet::from_sorted(std::vector<DeviceId> ids) {
+  assert(std::is_sorted(ids.begin(), ids.end()) &&
+         std::adjacent_find(ids.begin(), ids.end()) == ids.end());
+  DeviceSet r;
+  r.ids_ = std::move(ids);
+  return r;
 }
 
 DeviceSet::DeviceSet(std::initializer_list<DeviceId> ids)
@@ -98,14 +110,18 @@ DeviceSet DeviceSet::without(DeviceId id) const {
   return r;
 }
 
-std::uint64_t DeviceSet::hash() const noexcept {
+std::uint64_t hash_ids(std::span<const DeviceId> ids) noexcept {
   std::uint64_t h = 0xCBF29CE484222325ULL;
-  for (const DeviceId id : ids_) {
+  h ^= static_cast<std::uint64_t>(ids.size());
+  h *= 0x100000001B3ULL;
+  for (const DeviceId id : ids) {
     h ^= id;
     h *= 0x100000001B3ULL;
   }
   return h;
 }
+
+std::uint64_t DeviceSet::hash() const noexcept { return hash_ids(ids_); }
 
 std::string DeviceSet::to_string() const {
   std::string s = "{";
@@ -120,17 +136,26 @@ std::string DeviceSet::to_string() const {
 std::vector<DeviceSet> keep_maximal(std::vector<DeviceSet> family) {
   std::sort(family.begin(), family.end());
   family.erase(std::unique(family.begin(), family.end()), family.end());
+  // Size-descending scan: a candidate with any strict superset in the family
+  // also has one among the survivors scanned so far (subset is transitive and
+  // equal-size containment is equality, gone after dedup), so each candidate
+  // is checked against the few maximal sets instead of the whole family.
+  std::stable_sort(family.begin(), family.end(),
+                   [](const DeviceSet& a, const DeviceSet& b) {
+                     return a.size() > b.size();
+                   });
   std::vector<DeviceSet> maximal;
-  for (const auto& candidate : family) {
+  for (auto& candidate : family) {
     bool covered = false;
-    for (const auto& other : family) {
+    for (const auto& other : maximal) {
       if (other.size() > candidate.size() && candidate.is_subset_of(other)) {
         covered = true;
         break;
       }
     }
-    if (!covered) maximal.push_back(candidate);
+    if (!covered) maximal.push_back(std::move(candidate));
   }
+  std::sort(maximal.begin(), maximal.end());
   return maximal;
 }
 

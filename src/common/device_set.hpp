@@ -22,9 +22,17 @@ class DeviceSet {
   DeviceSet() = default;
   /// Builds from arbitrary order; sorts and deduplicates.
   explicit DeviceSet(std::vector<DeviceId> ids);
+  /// Same, copying from a borrowed span (no intermediate vector at the call
+  /// site — motion-plane slices hand out spans).
+  explicit DeviceSet(std::span<const DeviceId> ids);
   DeviceSet(std::initializer_list<DeviceId> ids);
 
   [[nodiscard]] static DeviceSet singleton(DeviceId id);
+
+  /// Adopts `ids` that are already sorted and duplicate-free (asserted in
+  /// debug builds), skipping the sort pass of the general constructor. The
+  /// enumeration hot paths produce sorted runs by construction.
+  [[nodiscard]] static DeviceSet from_sorted(std::vector<DeviceId> ids);
 
   [[nodiscard]] bool empty() const noexcept { return ids_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
@@ -44,7 +52,10 @@ class DeviceSet {
   [[nodiscard]] auto end() const noexcept { return ids_.end(); }
   [[nodiscard]] DeviceId operator[](std::size_t i) const noexcept { return ids_[i]; }
 
-  /// FNV-1a over the id sequence; stable across runs (used for memo keys).
+  /// FNV-1a over the length and the id sequence; stable across runs (used
+  /// for memo keys and plane-wide motion interning). Mixing the length first
+  /// separates the many small sets the characterization manipulates (e.g.
+  /// {0} from {} + trailing zeros of the element mix).
   [[nodiscard]] std::uint64_t hash() const noexcept;
 
   /// "{1, 4, 7}" - for diagnostics and test failure messages.
@@ -57,6 +68,10 @@ class DeviceSet {
  private:
   std::vector<DeviceId> ids_;
 };
+
+/// Length-prefixed FNV-1a over an id run; the one hashing scheme shared by
+/// DeviceSet::hash and the motion-plane arena stores.
+[[nodiscard]] std::uint64_t hash_ids(std::span<const DeviceId> ids) noexcept;
 
 /// Removes sets that are subsets of another set in the family (keeps the
 /// inclusion-maximal ones) and deduplicates. Order of survivors is sorted.

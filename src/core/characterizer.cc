@@ -1,54 +1,99 @@
 #include "core/characterizer.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <stdexcept>
-
-#include "core/motion.hpp"
+#include <thread>
 
 namespace acn {
+namespace {
+
+/// |a ∩ b| for two sorted id runs (motion members vs. a DeviceSet's ids).
+std::size_t sorted_intersection_size(std::span<const DeviceId> a,
+                                     std::span<const DeviceId> b) noexcept {
+  std::size_t count = 0;
+  std::size_t i = 0;
+  std::size_t k = 0;
+  while (i < a.size() && k < b.size()) {
+    if (a[i] < b[k]) {
+      ++i;
+    } else if (b[k] < a[i]) {
+      ++k;
+    } else {
+      ++count;
+      ++i;
+      ++k;
+    }
+  }
+  return count;
+}
+
+}  // namespace
 
 Characterizer::Characterizer(const StatePair& state, Params params,
                              CharacterizeOptions options)
-    : state_(state), params_(params), options_(options), oracle_(state, params) {
-  params_.validate();
-}
+    : owned_plane_(std::in_place, state, params),
+      plane_(&*owned_plane_),
+      options_(options),
+      oracle_(*plane_) {}
 
-Characterizer::Split Characterizer::split_neighbourhood(
-    DeviceId j, const std::vector<DeviceSet>& dense_j) {
+Characterizer::Characterizer(const MotionPlane& plane, CharacterizeOptions options)
+    : plane_(&plane), options_(options), oracle_(plane) {}
+
+Characterizer::Split Characterizer::split_neighbourhood(DeviceId j) const {
+  const MotionPlane& plane = *plane_;
   Split split;
-  for (const DeviceSet& motion : dense_j) split.d = split.d.set_union(motion);
-  for (const DeviceId ell : split.d) {
+
+  // D_k(j): union of the interned member runs of j's dense motions.
+  std::vector<DeviceId> d_members;
+  for (const MotionPlane::MotionId mid : plane.dense(j)) {
+    const auto run = plane.members(mid);
+    d_members.insert(d_members.end(), run.begin(), run.end());
+  }
+  std::sort(d_members.begin(), d_members.end());
+  d_members.erase(std::unique(d_members.begin(), d_members.end()), d_members.end());
+
+  // J/L split: ell joins J_k(j) iff every dense motion of ell contains j.
+  std::vector<DeviceId> j_members;
+  std::vector<DeviceId> l_members;
+  for (const DeviceId ell : d_members) {
     if (ell == j) {
-      split.j = split.j.with(ell);  // j's own dense motions all contain j
+      j_members.push_back(ell);  // j's own dense motions all contain j
       continue;
     }
     bool all_contain_j = true;
-    for (const DeviceSet& motion : oracle_.dense_motions(ell)) {
-      if (!motion.contains(j)) {
+    for (const MotionPlane::MotionId mid : plane.dense(ell)) {
+      if (!plane.motion_contains(mid, j)) {
         all_contain_j = false;
         break;
       }
     }
     if (all_contain_j) {
-      split.j = split.j.with(ell);
+      j_members.push_back(ell);
     } else {
-      split.l = split.l.with(ell);
+      l_members.push_back(ell);
     }
   }
+  split.d = DeviceSet::from_sorted(std::move(d_members));
+  split.j = DeviceSet::from_sorted(std::move(j_members));
+  split.l = DeviceSet::from_sorted(std::move(l_members));
   return split;
 }
 
-Decision Characterizer::characterize(DeviceId j) {
-  if (!state_.is_abnormal(j)) {
+Decision Characterizer::characterize_with(MotionOracle& oracle, DeviceId j) const {
+  const MotionPlane& plane = *plane_;
+  if (!plane.covers(j)) {
     throw std::invalid_argument("characterize: device " + std::to_string(j) +
                                 " is not in A_k");
   }
   Decision decision;
-  decision.maximal_motion_count = oracle_.maximal_motions(j).size();
+  decision.maximal_motion_count = plane.maximal(j).size();
 
   // Theorem 5: no dense motion containing j  =>  isolated.
-  const std::vector<DeviceSet> dense_j = oracle_.dense_motions(j);
+  const auto dense_j = plane.dense(j);
   decision.dense_motion_count = dense_j.size();
   if (dense_j.empty()) {
     decision.cls = AnomalyClass::kIsolated;
@@ -60,9 +105,10 @@ Decision Characterizer::characterize(DeviceId j) {
   // J_k(j) in more than tau devices  =>  massive. (|M ∩ J| > tau gives the
   // dense motion M ∩ J ⊆ J_k(j) required by the theorem, and conversely any
   // dense B ⊆ J_k(j) extends to a maximal M in W-bar(j) with |M ∩ J| > tau.)
-  const Split split = split_neighbourhood(j, dense_j);
-  for (const DeviceSet& motion : dense_j) {
-    if (motion.intersection_size(split.j) > params_.tau) {
+  const Split split = split_neighbourhood(j);
+  for (const MotionPlane::MotionId mid : dense_j) {
+    if (sorted_intersection_size(plane.members(mid), split.j.ids()) >
+        plane.params().tau) {
       decision.cls = AnomalyClass::kMassive;
       decision.rule = DecisionRule::kTheorem6;
       return decision;
@@ -77,7 +123,7 @@ Decision Characterizer::characterize(DeviceId j) {
 
   // Theorem 7 / Corollary 8 (Algorithms 4/5): search for a violating
   // collection; its existence certifies "unresolved", its absence "massive".
-  const NscOutcome outcome = search_violating_collection(j, split.l);
+  const NscOutcome outcome = search_violating_collection(oracle, j, split.l);
   decision.collections_tested = outcome.nodes;
   if (outcome.exhausted) {
     decision.cls = AnomalyClass::kUnresolved;  // safe side: never over-claims
@@ -93,8 +139,15 @@ Decision Characterizer::characterize(DeviceId j) {
   return decision;
 }
 
+Decision Characterizer::characterize(DeviceId j) {
+  return characterize_with(oracle_, j);
+}
+
 Characterizer::NscOutcome Characterizer::search_violating_collection(
-    DeviceId j, const DeviceSet& l) {
+    MotionOracle& oracle, DeviceId j, const DeviceSet& l) const {
+  const MotionPlane& plane = *plane_;
+  const StatePair& state = plane.state();
+  const Params& params = plane.params();
   NscOutcome outcome;
 
   // Every dense motion of j lives inside N(j) (its 2r-neighbourhood), so a
@@ -102,25 +155,36 @@ Characterizer::NscOutcome Characterizer::search_violating_collection(
   // shares with N(j). A base with no such member is removable from any
   // violating collection (dropping it keeps not-(4): the surviving motions
   // of j are untouched), so it is pruned — exactly.
-  const std::vector<DeviceId>& neighbours = oracle_.neighbourhood(j);
-  const DeviceSet reach(std::vector<DeviceId>(neighbours.begin(), neighbours.end()));
+  const auto neighbours = plane.neighbourhood(j);
+  const DeviceSet reach = DeviceSet::from_sorted(
+      std::vector<DeviceId>(neighbours.begin(), neighbours.end()));
 
   // Candidate base sets: maximal dense motions of L-neighbours avoiding j.
-  std::vector<DeviceSet> bases;
+  // The plane's interning makes id-level dedup exact; sorting by member
+  // sequence reproduces the deterministic lexicographic walk order.
+  std::vector<MotionPlane::MotionId> bases;
   for (const DeviceId ell : l) {
-    for (const DeviceSet& motion : oracle_.dense_motions(ell)) {
-      if (!motion.contains(j) && motion.intersection_size(reach) > 0) {
-        bases.push_back(motion);
+    for (const MotionPlane::MotionId mid : plane.dense(ell)) {
+      if (!plane.motion_contains(mid, j) &&
+          sorted_intersection_size(plane.members(mid), reach.ids()) > 0) {
+        bases.push_back(mid);
       }
     }
   }
   std::sort(bases.begin(), bases.end());
   bases.erase(std::unique(bases.begin(), bases.end()), bases.end());
+  std::sort(bases.begin(), bases.end(),
+            [&](MotionPlane::MotionId a, MotionPlane::MotionId b) {
+              const auto ra = plane.members(a);
+              const auto rb = plane.members(b);
+              return std::lexicographical_compare(ra.begin(), ra.end(), rb.begin(),
+                                                  rb.end());
+            });
 
   // A set is usable in a violating collection only if it holds a device
   // farther than 2r from j (negation of relation (5)); precompute per id.
   const auto is_far = [&](DeviceId id) {
-    return state_.joint_distance(j, id) > params_.window();
+    return state.joint_distance(j, id) > params.window();
   };
 
   // Depth-first search over base sets; at each node the collection chosen so
@@ -135,7 +199,7 @@ Characterizer::NscOutcome Characterizer::search_violating_collection(
     }
     // not-(4): no dense motion containing j survives outside `used` — the
     // collection built so far is violating (not-(5) held for each pick).
-    if (!oracle_.has_dense_motion_avoiding(j, used)) return true;
+    if (!oracle.has_dense_motion_avoiding(j, used)) return true;
     if (index == bases.size()) return false;
 
     // Branch 1: carve a qualifying subset out of this base's unused members
@@ -143,16 +207,16 @@ Characterizer::NscOutcome Characterizer::search_violating_collection(
     // Subsets must be dense (> tau), contain a far device, an L-neighbour,
     // and a device of N(j) (the exact-effect prune above, member level).
     std::vector<DeviceId> avail;
-    for (const DeviceId id : bases[index]) {
+    for (const DeviceId id : plane.members(bases[index])) {
       if (id != j && !used.contains(id)) avail.push_back(id);
     }
     const std::size_t m = avail.size();
-    if (m <= params_.tau) return dfs(index + 1, used);
+    if (m <= params.tau) return dfs(index + 1, used);
 
     // Enumerate combinations per size, largest first (they prune relation
     // (4) fastest and any violating subset stays available at smaller
     // sizes). Each candidate combination is charged against the budget.
-    for (std::size_t s = m; s > params_.tau; --s) {
+    for (std::size_t s = m; s > params.tau; --s) {
       std::vector<std::size_t> pick(s);
       for (std::size_t i = 0; i < s; ++i) pick[i] = i;
       for (;;) {
@@ -174,7 +238,9 @@ Characterizer::NscOutcome Characterizer::search_violating_collection(
           effect = effect || reach.contains(id);
         }
         if (far_member && l_member && effect) {
-          if (dfs(index + 1, used.set_union(DeviceSet(std::move(members))))) {
+          // `avail` is sorted and picks ascend, so `members` is sorted.
+          if (dfs(index + 1,
+                  used.set_union(DeviceSet::from_sorted(std::move(members))))) {
             return true;
           }
           if (outcome.exhausted) return false;
@@ -195,34 +261,95 @@ Characterizer::NscOutcome Characterizer::search_violating_collection(
   return outcome;
 }
 
-CharacterizationSets Characterizer::characterize_all() {
-  CharacterizationSets sets;
-  for (const DeviceId j : state_.abnormal()) {
-    switch (characterize(j).cls) {
+std::vector<Decision> Characterizer::decide_all() {
+  const DeviceSet& abnormal = plane_->state().abnormal();
+  std::vector<Decision> decisions;
+  decisions.reserve(abnormal.size());
+  for (const DeviceId j : abnormal) {
+    decisions.push_back(characterize_with(oracle_, j));
+  }
+  return decisions;
+}
+
+std::vector<Decision> Characterizer::decide_all_parallel(unsigned threads) {
+  const DeviceSet& abnormal = plane_->state().abnormal();
+  const std::size_t m = abnormal.size();
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = static_cast<unsigned>(std::min<std::size_t>(threads, m));
+  if (threads <= 1) return decide_all();
+
+  std::vector<Decision> decisions(m);
+  std::atomic<std::size_t> cursor{0};
+  std::mutex failure_mutex;
+  std::exception_ptr failure;
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      // Private view: memo tables are thread-local, the plane is shared
+      // read-only. Slot writes are disjoint, so no result synchronization.
+      MotionOracle oracle(*plane_);
+      try {
+        for (std::size_t i = cursor.fetch_add(1); i < m; i = cursor.fetch_add(1)) {
+          decisions[i] = characterize_with(oracle, abnormal[i]);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(failure_mutex);
+        if (!failure) failure = std::current_exception();
+        cursor.store(m);  // drain remaining work on all workers
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+  if (failure) std::rethrow_exception(failure);
+  return decisions;
+}
+
+CharacterizationSets Characterizer::bucket(
+    const std::vector<Decision>& decisions) const {
+  const DeviceSet& abnormal = plane_->state().abnormal();
+  std::vector<DeviceId> isolated;
+  std::vector<DeviceId> massive;
+  std::vector<DeviceId> unresolved;
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    switch (decisions[i].cls) {
       case AnomalyClass::kIsolated:
-        sets.isolated = sets.isolated.with(j);
+        isolated.push_back(abnormal[i]);
         break;
       case AnomalyClass::kMassive:
-        sets.massive = sets.massive.with(j);
+        massive.push_back(abnormal[i]);
         break;
       case AnomalyClass::kUnresolved:
-        sets.unresolved = sets.unresolved.with(j);
+        unresolved.push_back(abnormal[i]);
         break;
     }
   }
+  CharacterizationSets sets;
+  sets.isolated = DeviceSet::from_sorted(std::move(isolated));
+  sets.massive = DeviceSet::from_sorted(std::move(massive));
+  sets.unresolved = DeviceSet::from_sorted(std::move(unresolved));
   return sets;
 }
 
+CharacterizationSets Characterizer::characterize_all() { return bucket(decide_all()); }
+
+CharacterizationSets Characterizer::characterize_all_parallel(unsigned threads) {
+  return bucket(decide_all_parallel(threads));
+}
+
 DeviceSet Characterizer::neighbourhood_d(DeviceId j) {
-  return split_neighbourhood(j, oracle_.dense_motions(j)).d;
+  return split_neighbourhood(j).d;
 }
 
 DeviceSet Characterizer::neighbourhood_j(DeviceId j) {
-  return split_neighbourhood(j, oracle_.dense_motions(j)).j;
+  return split_neighbourhood(j).j;
 }
 
 DeviceSet Characterizer::neighbourhood_l(DeviceId j) {
-  return split_neighbourhood(j, oracle_.dense_motions(j)).l;
+  return split_neighbourhood(j).l;
 }
 
 }  // namespace acn

@@ -13,6 +13,13 @@
 // Everything is computed from trajectories within 4r of j (neighbourhoods
 // of neighbours), matching the locality claim at the end of §V.
 //
+// All motion families are read from a snapshot-level MotionPlane built once
+// per (state, params): the Theorem 5/6 split walks interned motion runs
+// without materializing sets, and because each per-device decision is then
+// read-only over the plane, characterize_all_parallel can fan A_k out over
+// a thread pool (one private MotionOracle view — i.e. one memo table set —
+// per worker) with byte-identical results to the serial path.
+//
 // The Theorem 7 search: a violating collection only ever contains sets B
 // with (a) |B| > tau, (b) B a subset of some maximal dense motion M of an
 // L_k(j)-neighbour with j not in M (any dense motion extends to a maximal
@@ -29,10 +36,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/device_set.hpp"
 #include "core/motion_oracle.hpp"
+#include "core/motion_plane.hpp"
 #include "core/params.hpp"
 #include "core/partition_enumerator.hpp"
 #include "core/state.hpp"
@@ -82,15 +91,38 @@ struct Decision {
 
 class Characterizer {
  public:
-  /// `state` must outlive the characterizer.
+  /// Builds a private MotionPlane for `state`, which must outlive the
+  /// characterizer.
   explicit Characterizer(const StatePair& state, Params params,
                          CharacterizeOptions options = {});
+
+  /// Reads an externally owned plane (must outlive the characterizer);
+  /// nothing is recomputed. Lets one plane serve several consumers of the
+  /// same snapshot.
+  explicit Characterizer(const MotionPlane& plane, CharacterizeOptions options = {});
+
+  // Non-copyable/movable: plane_ and oracle_ may point into owned_plane_.
+  Characterizer(const Characterizer&) = delete;
+  Characterizer& operator=(const Characterizer&) = delete;
 
   /// Characterizes one abnormal device (throws if j is not in A_k).
   [[nodiscard]] Decision characterize(DeviceId j);
 
+  /// Decisions for every device of A_k, in A_k (ascending id) order.
+  [[nodiscard]] std::vector<Decision> decide_all();
+
+  /// Same decisions, computed by `threads` workers (0 = hardware
+  /// concurrency) pulling devices from a shared atomic cursor. Each worker
+  /// reads the one shared plane through a private oracle view, so the
+  /// result is byte-identical to decide_all() regardless of scheduling.
+  [[nodiscard]] std::vector<Decision> decide_all_parallel(unsigned threads = 0);
+
   /// Characterizes every device of A_k and buckets them.
   [[nodiscard]] CharacterizationSets characterize_all();
+
+  /// Parallel variant of characterize_all (same contract as
+  /// decide_all_parallel).
+  [[nodiscard]] CharacterizationSets characterize_all_parallel(unsigned threads = 0);
 
   /// D_k(j): union of the maximal dense motions containing j.
   [[nodiscard]] DeviceSet neighbourhood_d(DeviceId j);
@@ -99,8 +131,9 @@ class Characterizer {
   /// L_k(j): members of D_k(j) with a maximal dense motion avoiding j.
   [[nodiscard]] DeviceSet neighbourhood_l(DeviceId j);
 
+  [[nodiscard]] const MotionPlane& plane() const noexcept { return *plane_; }
   [[nodiscard]] MotionOracle& oracle() noexcept { return oracle_; }
-  [[nodiscard]] const Params& params() const noexcept { return params_; }
+  [[nodiscard]] const Params& params() const noexcept { return plane_->params(); }
 
  private:
   struct Split {
@@ -108,18 +141,23 @@ class Characterizer {
     DeviceSet j;  ///< J_k(j)
     DeviceSet l;  ///< L_k(j)
   };
-  [[nodiscard]] Split split_neighbourhood(DeviceId j,
-                                          const std::vector<DeviceSet>& dense_j);
+  [[nodiscard]] Split split_neighbourhood(DeviceId j) const;
 
   struct NscOutcome {
     bool violating_found = false;
     bool exhausted = false;
     std::uint64_t nodes = 0;
   };
-  [[nodiscard]] NscOutcome search_violating_collection(DeviceId j, const DeviceSet& l);
+  /// `oracle` carries the mutable memo state (avoid memo), so workers pass
+  /// their private views; everything else read here is plane-const.
+  [[nodiscard]] NscOutcome search_violating_collection(MotionOracle& oracle,
+                                                      DeviceId j,
+                                                      const DeviceSet& l) const;
+  [[nodiscard]] Decision characterize_with(MotionOracle& oracle, DeviceId j) const;
+  [[nodiscard]] CharacterizationSets bucket(const std::vector<Decision>& decisions) const;
 
-  const StatePair& state_;
-  Params params_;
+  std::optional<MotionPlane> owned_plane_;  ///< engaged by the state ctor
+  const MotionPlane* plane_;
   CharacterizeOptions options_;
   MotionOracle oracle_;
 };

@@ -1,25 +1,63 @@
 #include "core/grid_index.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
 namespace acn {
 namespace {
 
-// Packs per-dimension cell coordinates into one 64-bit key. With cell sides
-// >= 1e-9 and coordinates in [0,1], per-dimension indices fit comfortably in
-// the bits allotted per dimension (64 / d >= 8 bits for d <= 8).
-std::uint64_t pack(const std::vector<std::int64_t>& cell_coords) noexcept {
-  std::uint64_t key = 1469598103934665603ULL;
-  for (const std::int64_t c : cell_coords) {
-    key ^= static_cast<std::uint64_t>(c) + 0x9E3779B97F4A7C15ULL;
-    key *= 1099511628211ULL;
-  }
+// Incremental FNV-style mix of one per-dimension cell index into the packed
+// key. With cell sides >= 1e-9 and coordinates in [0,1] the indices are
+// small; the mix keeps distinct cells in distinct buckets with negligible
+// collision probability (and collisions only cost speed, never correctness:
+// hits are filtered by exact joint distance and collided buckets are scanned
+// once — see within_into).
+constexpr std::uint64_t kKeyBasis = 1469598103934665603ULL;
+
+std::uint64_t mix(std::uint64_t key, std::int64_t cell_coord) noexcept {
+  key ^= static_cast<std::uint64_t>(cell_coord) + 0x9E3779B97F4A7C15ULL;
+  key *= 1099511628211ULL;
   return key;
 }
 
 }  // namespace
+
+std::vector<std::vector<DeviceId>> connected_components(
+    std::span<const DeviceId> ids,
+    const std::function<std::span<const DeviceId>(std::size_t)>& neighbours_of) {
+  const std::size_t m = ids.size();
+  std::vector<std::uint32_t> parent(m);
+  for (std::size_t i = 0; i < m; ++i) parent[i] = static_cast<std::uint32_t>(i);
+  const auto find = [&](std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (std::size_t rank = 0; rank < m; ++rank) {
+    for (const DeviceId other : neighbours_of(rank)) {
+      const auto other_rank = static_cast<std::uint32_t>(
+          std::lower_bound(ids.begin(), ids.end(), other) - ids.begin());
+      parent[find(static_cast<std::uint32_t>(rank))] = find(other_rank);
+    }
+  }
+  // Scanning ranks in ascending order keeps every component sorted by id
+  // and assigns component slots by smallest member.
+  std::vector<std::vector<DeviceId>> components;
+  std::vector<std::int64_t> slot(m, -1);
+  for (std::size_t rank = 0; rank < m; ++rank) {
+    const std::uint32_t root = find(static_cast<std::uint32_t>(rank));
+    if (slot[root] < 0) {
+      slot[root] = static_cast<std::int64_t>(components.size());
+      components.emplace_back();
+    }
+    components[static_cast<std::size_t>(slot[root])].push_back(ids[rank]);
+  }
+  return components;
+}
 
 GridIndex::GridIndex(const StatePair& state, const DeviceSet& members, double cell)
     : state_(state), cell_(cell), member_count_(members.size()) {
@@ -31,32 +69,55 @@ GridIndex::GridIndex(const StatePair& state, const DeviceSet& members, double ce
 }
 
 std::uint64_t GridIndex::cell_key(const Point& curr_position) const noexcept {
-  std::vector<std::int64_t> coords(curr_position.dim());
+  std::uint64_t key = kKeyBasis;
   for (std::size_t i = 0; i < curr_position.dim(); ++i) {
-    coords[i] = static_cast<std::int64_t>(std::floor(curr_position[i] / cell_));
+    key = mix(key, static_cast<std::int64_t>(std::floor(curr_position[i] / cell_)));
   }
-  return pack(coords);
+  return key;
 }
 
 std::vector<DeviceId> GridIndex::within(DeviceId j, double radius) const {
+  std::vector<DeviceId> out;
+  within_into(j, radius, out);
+  return out;
+}
+
+void GridIndex::within_into(DeviceId j, double radius,
+                            std::vector<DeviceId>& out) const {
+  out.clear();
   const Point& centre = state_.curr_pos(j);
   const std::size_t d = centre.dim();
   const auto reach = static_cast<std::int64_t>(std::ceil(radius / cell_));
 
-  std::vector<std::int64_t> base(d);
+  std::array<std::int64_t, Point::kMaxDim> base{};
   for (std::size_t i = 0; i < d; ++i) {
     base[i] = static_cast<std::int64_t>(std::floor(centre[i] / cell_));
   }
 
-  std::vector<DeviceId> out;
+  // Grid cells are disjoint, so a device can appear at most once across the
+  // scanned buckets — unless two distinct cells collide on the packed key
+  // and share a bucket, in which case the odometer would scan that bucket
+  // twice. Tracking visited buckets keeps the no-duplicates guarantee exact
+  // without a sort-and-unique pass over the hits.
+  std::vector<const std::vector<DeviceId>*> visited;
+  visited.reserve(16);
+
   // Odometer over the (2*reach+1)^d neighbouring cells.
-  std::vector<std::int64_t> offset(d, -reach);
+  std::array<std::int64_t, Point::kMaxDim> offset{};
+  offset.fill(0);
+  for (std::size_t i = 0; i < d; ++i) offset[i] = -reach;
   for (;;) {
-    std::vector<std::int64_t> cell_coords(d);
-    for (std::size_t i = 0; i < d; ++i) cell_coords[i] = base[i] + offset[i];
-    if (const auto it = cells_.find(pack(cell_coords)); it != cells_.end()) {
-      for (const DeviceId candidate : it->second) {
-        if (state_.joint_distance(j, candidate) <= radius) out.push_back(candidate);
+    std::uint64_t key = kKeyBasis;
+    for (std::size_t i = 0; i < d; ++i) key = mix(key, base[i] + offset[i]);
+    if (const auto it = cells_.find(key); it != cells_.end()) {
+      const std::vector<DeviceId>* bucket = &it->second;
+      if (std::find(visited.begin(), visited.end(), bucket) == visited.end()) {
+        visited.push_back(bucket);
+        for (const DeviceId candidate : *bucket) {
+          if (state_.joint_distance(j, candidate) <= radius) {
+            out.push_back(candidate);
+          }
+        }
       }
     }
     std::size_t i = 0;
@@ -67,8 +128,6 @@ std::vector<DeviceId> GridIndex::within(DeviceId j, double radius) const {
     if (i == d) break;
   }
   std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
 }
 
 }  // namespace acn

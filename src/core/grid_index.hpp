@@ -5,10 +5,15 @@
 //
 // The grid is built on *current* positions (cell side = 2r) and candidate
 // hits are filtered by exact joint distance, so correctness never depends on
-// the grid geometry — only speed does.
+// the grid geometry — only speed does. Cell keys are packed incrementally
+// from per-dimension indices (no per-visit coordinate vector), and the
+// batch-query overload reuses a caller-owned output buffer so the motion
+// plane's per-device neighbourhood pass allocates nothing per visit.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -16,6 +21,21 @@
 #include "core/state.hpp"
 
 namespace acn {
+
+/// Floor for grid cell sides so the index degenerates gracefully when the
+/// consistency window 2r approaches 0. Shared by every 2r grid build
+/// (MotionPlane, PartitionEnumerator) so they agree on the same geometry.
+inline constexpr double kMinGridCell = 1e-9;
+
+/// Connected components over the sorted `ids`, where `neighbours_of(rank)`
+/// yields the (sorted) neighbours of ids[rank] among `ids` — the
+/// 2r-interaction graph when the lists come from a window-radius grid
+/// query. Every component is sorted by id; components are ordered by
+/// smallest member. Shared by the MotionPlane build (arena-backed lists)
+/// and PartitionEnumerator::components (on-the-fly grid queries).
+[[nodiscard]] std::vector<std::vector<DeviceId>> connected_components(
+    std::span<const DeviceId> ids,
+    const std::function<std::span<const DeviceId>(std::size_t)>& neighbours_of);
 
 class GridIndex {
  public:
@@ -27,6 +47,11 @@ class GridIndex {
   /// including j itself when indexed. Sorted by id. The query device does not
   /// have to be a member. `radius` may exceed the cell size (4r queries).
   [[nodiscard]] std::vector<DeviceId> within(DeviceId j, double radius) const;
+
+  /// Same query into a caller-owned buffer (cleared first). The motion-plane
+  /// build issues one query per abnormal device; reusing `out` keeps that
+  /// pass allocation-free.
+  void within_into(DeviceId j, double radius, std::vector<DeviceId>& out) const;
 
   [[nodiscard]] std::size_t member_count() const noexcept { return member_count_; }
 

@@ -4,50 +4,80 @@
 #include <functional>
 #include <stdexcept>
 
-#include "core/motion.hpp"
-
 namespace acn {
-namespace {
-
-constexpr double kMinCell = 1e-9;  // grid degenerates gracefully when r ~ 0
-
-}  // namespace
 
 MotionOracle::MotionOracle(const StatePair& state, Params params)
-    : state_(state),
-      params_(params),
-      grid_(state, state.abnormal(), std::max(params.window(), kMinCell)) {
+    : state_(state), params_(params), plane_(nullptr) {
   params_.validate();
 }
 
-const std::vector<DeviceId>& MotionOracle::neighbourhood(DeviceId j) {
-  if (const auto it = neighbourhood_memo_.find(j); it != neighbourhood_memo_.end()) {
+MotionOracle::MotionOracle(const MotionPlane& plane)
+    : state_(plane.state()),
+      params_(plane.params()),
+      plane_(&plane),
+      counters_(plane.counters()) {}
+
+const MotionPlane& MotionOracle::ensure_plane() const {
+  if (plane_ == nullptr) {
+    owned_plane_.emplace(state_, params_);
+    plane_ = &*owned_plane_;
+    const OracleCounters& built = plane_->counters();
+    counters_.neighbourhood_queries += built.neighbourhood_queries;
+    counters_.windows_explored += built.windows_explored;
+    counters_.covers_generated += built.covers_generated;
+    counters_.enumeration_calls += built.enumeration_calls;
+    counters_.motions_stored += built.motions_stored;
+    counters_.motions_shared += built.motions_shared;
+  }
+  return *plane_;
+}
+
+std::span<const DeviceId> MotionOracle::neighbourhood(DeviceId j) {
+  const MotionPlane& plane = ensure_plane();
+  if (plane.covers(j)) return plane.neighbourhood(j);
+  if (const auto it = extra_neighbourhood_memo_.find(j);
+      it != extra_neighbourhood_memo_.end()) {
     return it->second;
   }
   ++counters_.neighbourhood_queries;
-  auto neighbours = grid_.within(j, params_.window());
-  return neighbourhood_memo_.emplace(j, std::move(neighbours)).first->second;
+  auto neighbours = plane.grid().within(j, params_.window());
+  return extra_neighbourhood_memo_.emplace(j, std::move(neighbours)).first->second;
 }
 
 const std::vector<DeviceSet>& MotionOracle::maximal_motions(DeviceId j) {
   if (const auto it = motions_memo_.find(j); it != motions_memo_.end()) {
     return it->second;
   }
-  if (!state_.is_abnormal(j)) {
+  const MotionPlane& plane = ensure_plane();
+  if (!plane.covers(j)) {
     throw std::invalid_argument("maximal_motions: device " + std::to_string(j) +
                                 " is not in A_k");
   }
-  ++counters_.enumeration_calls;
-  auto motions = enumerate(neighbourhood(j), j);
+  std::vector<DeviceSet> motions;
+  const auto family = plane.maximal(j);
+  motions.reserve(family.size());
+  for (const MotionPlane::MotionId mid : family) {
+    motions.push_back(DeviceSet(plane.members(mid)));
+  }
   return motions_memo_.emplace(j, std::move(motions)).first->second;
 }
 
-std::vector<DeviceSet> MotionOracle::dense_motions(DeviceId j) {
-  std::vector<DeviceSet> dense;
-  for (const DeviceSet& motion : maximal_motions(j)) {
-    if (is_dense(motion, params_.tau)) dense.push_back(motion);
+const std::vector<DeviceSet>& MotionOracle::dense_motions(DeviceId j) {
+  if (const auto it = dense_memo_.find(j); it != dense_memo_.end()) {
+    return it->second;
   }
-  return dense;
+  const MotionPlane& plane = ensure_plane();
+  if (!plane.covers(j)) {
+    throw std::invalid_argument("dense_motions: device " + std::to_string(j) +
+                                " is not in A_k");
+  }
+  std::vector<DeviceSet> dense;
+  const auto family = plane.dense(j);
+  dense.reserve(family.size());
+  for (const MotionPlane::MotionId mid : family) {
+    dense.push_back(DeviceSet(plane.members(mid)));
+  }
+  return dense_memo_.emplace(j, std::move(dense)).first->second;
 }
 
 std::vector<DeviceSet> MotionOracle::maximal_motions_excluding(
@@ -57,15 +87,11 @@ std::vector<DeviceSet> MotionOracle::maximal_motions_excluding(
     if (!removed.contains(candidate)) pool.push_back(candidate);
   }
   ++counters_.enumeration_calls;
-  return enumerate(std::move(pool), j);
+  return enumerate_maximal_windows(state_, params_, std::move(pool), j, &counters_);
 }
 
 bool MotionOracle::has_dense_motion_avoiding(DeviceId j, const DeviceSet& removed) {
-  // Key mixes the device id into the removed-set hash; collisions would only
-  // be possible across distinct (j, removed) pairs hashing identically, which
-  // FNV over <= 32-element id lists makes negligible — and the memo is
-  // per-oracle, so a collision could only arise within one A_k analysis.
-  const std::uint64_t key = removed.hash() ^ (0x9E3779B97F4A7C15ULL * (j + 1));
+  const AvoidKey key{j, removed.hash()};
   if (const auto it = avoid_memo_.find(key); it != avoid_memo_.end()) {
     return it->second;
   }
@@ -73,12 +99,12 @@ bool MotionOracle::has_dense_motion_avoiding(DeviceId j, const DeviceSet& remove
   for (const DeviceId candidate : neighbourhood(j)) {
     if (!removed.contains(candidate)) pool.push_back(candidate);
   }
-  const bool found = exists_dense_cover(std::move(pool), j);
+  const bool found = exists_dense_cover(pool, j);
   avoid_memo_.emplace(key, found);
   return found;
 }
 
-bool MotionOracle::exists_dense_cover(std::vector<DeviceId> pool, DeviceId anchor) {
+bool MotionOracle::exists_dense_cover(std::span<const DeviceId> pool, DeviceId anchor) {
   return exists_dense_window_cover(state_, params_, pool, anchor,
                                    &counters_.windows_explored);
 }
@@ -89,23 +115,28 @@ bool exists_dense_window_cover(const StatePair& state, const Params& params,
                                std::uint64_t* windows_explored) {
   if (pool.size() <= params.tau) return false;
   const double window = params.window();
+  const Point* anchor_joint = anchor.has_value() ? &state.joint(*anchor) : nullptr;
 
-  // Same canonical-window slide as `enumerate`, but returns at the first
-  // window whose cover is dense — no maximal-family materialization.
+  // Same canonical-window slide as `enumerate_maximal_windows`, but returns
+  // at the first window whose cover is dense — no maximal-family
+  // materialization. Inner loops scan the columnar joint layout.
   const std::function<bool(std::span<const DeviceId>, std::size_t)> slide_any =
       [&](std::span<const DeviceId> active, std::size_t dim_index) -> bool {
     if (active.size() <= params.tau) return false;  // can only shrink further
     if (dim_index == state.joint_dim()) return true;
 
+    const double* col = state.joint_col(dim_index);
     std::vector<double> edges;
     edges.reserve(active.size());
-    for (const DeviceId id : active) {
-      const double x = state.joint(id)[dim_index];
-      if (anchor.has_value()) {
-        const double ax = state.joint(*anchor)[dim_index];
-        if (x < ax - window || x > ax) continue;
+    if (anchor_joint != nullptr) {
+      const double ax = (*anchor_joint)[dim_index];
+      const double lo = ax - window;
+      for (const DeviceId id : active) {
+        const double x = col[id];
+        if (x >= lo && x <= ax) edges.push_back(x);
       }
-      edges.push_back(x);
+    } else {
+      for (const DeviceId id : active) edges.push_back(col[id]);
     }
     std::sort(edges.begin(), edges.end());
     edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
@@ -114,10 +145,11 @@ bool exists_dense_window_cover(const StatePair& state, const Params& params,
     next.reserve(active.size());
     for (const double lower : edges) {
       if (windows_explored != nullptr) ++*windows_explored;
+      const double upper = lower + window;
       next.clear();
       for (const DeviceId id : active) {
-        const double x = state.joint(id)[dim_index];
-        if (x >= lower && x <= lower + window) next.push_back(id);
+        const double x = col[id];
+        if (x >= lower && x <= upper) next.push_back(id);
       }
       if (slide_any(next, dim_index + 1)) return true;
     }
@@ -128,7 +160,8 @@ bool exists_dense_window_cover(const StatePair& state, const Params& params,
 
 std::vector<DeviceSet> MotionOracle::maximal_motions_of_pool(
     std::vector<DeviceId> pool) const {
-  return enumerate(std::move(pool), std::nullopt);
+  return enumerate_maximal_windows(state_, params_, std::move(pool), std::nullopt,
+                                   &counters_);
 }
 
 std::vector<DeviceSet> MotionOracle::maximal_motions_in_pool(
@@ -137,67 +170,7 @@ std::vector<DeviceSet> MotionOracle::maximal_motions_in_pool(
   if (it == pool.end()) {
     throw std::invalid_argument("maximal_motions_in_pool: anchor not in pool");
   }
-  return enumerate(std::move(pool), j);
-}
-
-std::vector<DeviceSet> MotionOracle::enumerate(std::vector<DeviceId> pool,
-                                               std::optional<DeviceId> anchor) const {
-  if (anchor.has_value()) {
-    // Only devices within 2r of the anchor can share a motion with it.
-    std::vector<DeviceId> close;
-    close.reserve(pool.size());
-    for (const DeviceId candidate : pool) {
-      if (state_.joint_distance(*anchor, candidate) <= params_.window()) {
-        close.push_back(candidate);
-      }
-    }
-    pool = std::move(close);
-  }
-  std::sort(pool.begin(), pool.end());
-  if (pool.empty()) return {};
-
-  std::vector<DeviceSet> covers;
-  slide(pool, 0, anchor, covers);
-  return keep_maximal(std::move(covers));
-}
-
-void MotionOracle::slide(std::span<const DeviceId> active, std::size_t dim_index,
-                         std::optional<DeviceId> anchor,
-                         std::vector<DeviceSet>& covers) const {
-  if (active.empty()) return;
-  if (dim_index == state_.joint_dim()) {
-    ++counters_.covers_generated;
-    covers.emplace_back(std::vector<DeviceId>(active.begin(), active.end()));
-    return;
-  }
-  const double window = params_.window();
-
-  // Candidate lower edges: coordinates of active points; when anchored, only
-  // those within [x(anchor) - 2r, x(anchor)] so the window covers the anchor.
-  std::vector<double> edges;
-  edges.reserve(active.size());
-  for (const DeviceId id : active) {
-    const double x = state_.joint(id)[dim_index];
-    if (anchor.has_value()) {
-      const double ax = state_.joint(*anchor)[dim_index];
-      if (x < ax - window || x > ax) continue;
-    }
-    edges.push_back(x);
-  }
-  std::sort(edges.begin(), edges.end());
-  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
-
-  std::vector<DeviceId> next;
-  next.reserve(active.size());
-  for (const double lower : edges) {
-    ++counters_.windows_explored;
-    next.clear();
-    for (const DeviceId id : active) {
-      const double x = state_.joint(id)[dim_index];
-      if (x >= lower && x <= lower + window) next.push_back(id);
-    }
-    slide(next, dim_index + 1, anchor, covers);
-  }
+  return enumerate_maximal_windows(state_, params_, std::move(pool), j, &counters_);
 }
 
 }  // namespace acn

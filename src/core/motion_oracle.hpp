@@ -1,21 +1,24 @@
-// MotionOracle: enumeration of maximal r-consistent motions (the paper's
-// Algorithm 2, `maxMotions`).
+// MotionOracle: query view over the snapshot-level MotionPlane (the paper's
+// Algorithm 2, `maxMotions`, plus the derived queries of Algorithms 3-5).
 //
 // Key observation (see DESIGN.md): a set B has an r-consistent motion in
 // [k-1, k] iff the bounding box of its joint positions has side <= 2r in
 // every dimension. Every maximal motion containing device j is the exact
 // cover of a "canonical window": an axis-aligned joint-space box of side 2r
 // whose lower edge in each dimension sits on the coordinate of some
-// neighbourhood point within [x_dim(j) - 2r, x_dim(j)]. The oracle
-// recursively slides such windows dimension by dimension — the same sliding
-// performed by the pseudo-code of Algorithm 2 — collects window covers, and
-// keeps the inclusion-maximal ones.
+// neighbourhood point within [x_dim(j) - 2r, x_dim(j)]. The plane performs
+// that sliding once per snapshot for every device of A_k
+// (enumerate_maximal_windows in motion_plane.hpp); the oracle reads the
+// precomputed families and answers the remaining *parameterized* queries —
+// motions within a restricted candidate set (the Theorem 7 search), motions
+// over arbitrary pools (anomaly-partition validation) — by running the same
+// slide on demand. All queries touch only devices within 2r of the argument,
+// the locality the paper proves sufficient.
 //
-// The oracle also answers the derived queries used by Algorithms 3-5:
-// dense motions W-bar_k(j), motions within a restricted candidate set
-// (needed by the Theorem 7 search), and motions over arbitrary point sets
-// (needed to validate anomaly partitions). All queries touch only devices
-// within 2r of the argument — the locality the paper proves sufficient.
+// The oracle is cheap to construct from an existing plane: it owns only
+// memo tables (materialized families, the per-(j, removed) avoid memo), so
+// every worker thread of the parallel characterization path gets a private
+// oracle over one shared read-only plane.
 #pragma once
 
 #include <cstdint>
@@ -25,19 +28,11 @@
 #include <vector>
 
 #include "common/device_set.hpp"
-#include "core/grid_index.hpp"
+#include "core/motion_plane.hpp"
 #include "core/params.hpp"
 #include "core/state.hpp"
 
 namespace acn {
-
-/// Work counters; the evaluation (Table III) reports operation counts.
-struct OracleCounters {
-  std::uint64_t neighbourhood_queries = 0;  ///< grid lookups (message analogue)
-  std::uint64_t windows_explored = 0;       ///< canonical windows visited
-  std::uint64_t covers_generated = 0;       ///< window covers materialized
-  std::uint64_t enumeration_calls = 0;      ///< maxMotions invocations (pre-memo)
-};
 
 /// True iff `pool` holds a tau-dense motion: a canonical-window slide with
 /// early exit at the first full-dimensional window covering more than tau
@@ -53,20 +48,34 @@ struct OracleCounters {
 
 class MotionOracle {
  public:
-  /// The oracle operates on the abnormal set A_k of `state`. Both referenced
-  /// objects must outlive the oracle.
+  /// Oracle over the abnormal set A_k of `state`. Both referenced objects
+  /// must outlive the oracle. The backing MotionPlane is built lazily on
+  /// the first per-device query, so pool-only consumers (the Algorithm 1
+  /// greedy builders) never pay the plane build.
   MotionOracle(const StatePair& state, Params params);
 
+  /// Thin view over an existing plane (must outlive the oracle). Used by the
+  /// parallel characterization path: one shared plane, one oracle (and thus
+  /// one set of memo tables) per worker.
+  explicit MotionOracle(const MotionPlane& plane);
+
+  // Non-copyable/movable: the view may point into its own owned plane.
+  MotionOracle(const MotionOracle&) = delete;
+  MotionOracle& operator=(const MotionOracle&) = delete;
+
   /// N(j): abnormal devices within joint distance 2r of j (j included when
-  /// abnormal). Memoized.
-  [[nodiscard]] const std::vector<DeviceId>& neighbourhood(DeviceId j);
+  /// abnormal). Precomputed by the plane for abnormal devices; memoized grid
+  /// query otherwise.
+  [[nodiscard]] std::span<const DeviceId> neighbourhood(DeviceId j);
 
   /// M(j): all maximal r-consistent motions containing j (Algorithm 2).
-  /// Requires j in A_k. Memoized; deterministic (sorted) order.
+  /// Requires j in A_k. Materialized from the plane on first access;
+  /// deterministic (sorted) order.
   [[nodiscard]] const std::vector<DeviceSet>& maximal_motions(DeviceId j);
 
-  /// W-bar_k(j): maximal motions containing j that are tau-dense.
-  [[nodiscard]] std::vector<DeviceSet> dense_motions(DeviceId j);
+  /// W-bar_k(j): maximal motions containing j that are tau-dense. Memoized
+  /// (split_neighbourhood asks for every neighbour's dense family).
+  [[nodiscard]] const std::vector<DeviceSet>& dense_motions(DeviceId j);
 
   /// Maximal motions containing j within A_k \ removed. Used by the
   /// Theorem 7 search, where collections of dense motions are "removed".
@@ -74,9 +83,10 @@ class MotionOracle {
       DeviceId j, const DeviceSet& removed);
 
   /// True iff a tau-dense motion containing j exists within A_k \ removed —
-  /// relation (4) of Theorem 7 (its negation, precisely). Memoized per j.
-  /// Short-circuits at the first dense window cover: it never materializes
-  /// the maximal family (this query dominates the Theorem-7 search cost).
+  /// relation (4) of Theorem 7 (its negation, precisely). Memoized per
+  /// (j, removed) pair. Short-circuits at the first dense window cover: it
+  /// never materializes the maximal family (this query dominates the
+  /// Theorem-7 search cost).
   [[nodiscard]] bool has_dense_motion_avoiding(DeviceId j, const DeviceSet& removed);
 
   /// All maximal motions within an arbitrary pool of abnormal devices, no
@@ -90,32 +100,50 @@ class MotionOracle {
   [[nodiscard]] std::vector<DeviceSet> maximal_motions_in_pool(
       DeviceId j, std::vector<DeviceId> pool) const;
 
+  /// Plane build counters (once built) plus this view's query counters.
   [[nodiscard]] const OracleCounters& counters() const noexcept { return counters_; }
+  /// The backing plane, building it if this oracle owns a lazy one.
+  [[nodiscard]] const MotionPlane& plane() const { return ensure_plane(); }
   [[nodiscard]] const StatePair& state() const noexcept { return state_; }
   [[nodiscard]] const Params& params() const noexcept { return params_; }
 
  private:
-  /// Canonical-window enumeration over `pool`; when `anchor` is set, windows
-  /// are constrained to cover the anchor (maximal motions containing it).
-  [[nodiscard]] std::vector<DeviceSet> enumerate(std::vector<DeviceId> pool,
-                                                 std::optional<DeviceId> anchor) const;
+  /// Memo key for has_dense_motion_avoiding: the device and the removed-set
+  /// hash are stored side by side (not mixed into one word), so two distinct
+  /// (j, removed) pairs can only alias if the removed sets themselves
+  /// collide on their 64-bit FNV hash.
+  struct AvoidKey {
+    DeviceId device;
+    std::uint64_t removed_hash;
+    friend bool operator==(const AvoidKey&, const AvoidKey&) = default;
+  };
+  struct AvoidKeyHash {
+    std::size_t operator()(const AvoidKey& key) const noexcept {
+      return static_cast<std::size_t>(
+          key.removed_hash ^ (0x9E3779B97F4A7C15ULL * (key.device + 1)));
+    }
+  };
 
   /// Early-exit variant: true iff some window covering `anchor` within
   /// `pool` holds more than tau devices at every dimension.
-  [[nodiscard]] bool exists_dense_cover(std::vector<DeviceId> pool, DeviceId anchor);
+  [[nodiscard]] bool exists_dense_cover(std::span<const DeviceId> pool, DeviceId anchor);
 
-  void slide(std::span<const DeviceId> active, std::size_t dim_index,
-             std::optional<DeviceId> anchor,
-             std::vector<DeviceSet>& covers) const;
+  /// Builds the owned plane on first use (lazy ctor) and folds its build
+  /// counters into counters_.
+  const MotionPlane& ensure_plane() const;
 
   const StatePair& state_;
   Params params_;
-  GridIndex grid_;
+  mutable std::optional<MotionPlane> owned_plane_;  ///< lazy ctor's plane
+  mutable const MotionPlane* plane_;                ///< null until built/borrowed
   mutable OracleCounters counters_;
-  std::unordered_map<DeviceId, std::vector<DeviceId>> neighbourhood_memo_;
+  // Families materialized as DeviceSets for the set-algebra call sites;
+  // built from the plane's interned runs on first access.
   std::unordered_map<DeviceId, std::vector<DeviceSet>> motions_memo_;
-  // Memo for has_dense_motion_avoiding keyed by (device, removed-set hash).
-  std::unordered_map<std::uint64_t, bool> avoid_memo_;
+  std::unordered_map<DeviceId, std::vector<DeviceSet>> dense_memo_;
+  // Neighbourhoods of non-abnormal query devices (not covered by the plane).
+  std::unordered_map<DeviceId, std::vector<DeviceId>> extra_neighbourhood_memo_;
+  std::unordered_map<AvoidKey, bool, AvoidKeyHash> avoid_memo_;
 };
 
 }  // namespace acn

@@ -1,0 +1,325 @@
+#include "core/motion_plane.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <stdexcept>
+
+namespace acn {
+namespace {
+
+bool run_is_strict_subset(std::span<const DeviceId> small,
+                          std::span<const DeviceId> big) noexcept {
+  if (small.size() >= big.size()) return false;
+  std::size_t i = 0;
+  for (const DeviceId id : small) {
+    while (i < big.size() && big[i] < id) ++i;
+    if (i == big.size() || big[i] != id) return false;
+    ++i;
+  }
+  return true;
+}
+
+/// Window covers of one enumeration, stored flat: each cover is an
+/// (offset, length) run of sorted DeviceIds in one arena, deduplicated on
+/// insert — distinct windows over a tight blob produce the same cover many
+/// times, and every duplicate would otherwise ride through the maximality
+/// filter. clear() keeps all capacity, so one store serves every device of
+/// the plane build without per-device allocation.
+struct CoverStore {
+  std::vector<DeviceId> arena;
+  std::vector<std::uint32_t> offsets{0};
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index;
+
+  void clear() {
+    arena.clear();
+    offsets.assign(1, 0);
+    index.clear();  // keeps the bucket array; cost tracks own entry count
+  }
+  [[nodiscard]] std::size_t count() const noexcept { return offsets.size() - 1; }
+  [[nodiscard]] std::span<const DeviceId> run(std::uint32_t i) const noexcept {
+    return {arena.data() + offsets[i], offsets[i + 1] - offsets[i]};
+  }
+  void add(std::span<const DeviceId> ids) {
+    auto& slots = index[hash_ids(ids)];
+    for (const std::uint32_t i : slots) {
+      const auto existing = run(i);
+      if (existing.size() == ids.size() &&
+          std::equal(existing.begin(), existing.end(), ids.begin())) {
+        return;  // duplicate window cover
+      }
+    }
+    slots.push_back(static_cast<std::uint32_t>(count()));
+    arena.insert(arena.end(), ids.begin(), ids.end());
+    offsets.push_back(static_cast<std::uint32_t>(arena.size()));
+  }
+};
+
+/// Reusable buffers for the canonical-window slide: one edge list and one
+/// shrinking active set per joint dimension (the recursion touches exactly
+/// one depth per dimension at a time), the flat cover store, and the
+/// maximality-ranking scratch.
+struct EnumerationScratch {
+  std::vector<std::vector<double>> edges;
+  std::vector<std::vector<DeviceId>> next;
+  std::vector<DeviceId> pool;
+  CoverStore covers;
+  std::vector<std::uint32_t> order;
+  std::vector<std::uint32_t> maximal;
+};
+
+void slide(const StatePair& state, double window, std::span<const DeviceId> active,
+           std::size_t dim_index, const double* anchor_joint,
+           EnumerationScratch& scratch, OracleCounters* counters) {
+  if (active.empty()) return;
+  if (dim_index == state.joint_dim()) {
+    if (counters != nullptr) ++counters->covers_generated;
+    // `active` descends from a sorted pool through order-preserving filters.
+    scratch.covers.add(active);
+    return;
+  }
+
+  const double* col = state.joint_col(dim_index);
+  auto& edges = scratch.edges[dim_index];
+  edges.clear();
+  // Candidate lower edges: coordinates of active points; when anchored, only
+  // those within [x(anchor) - 2r, x(anchor)] so the window covers the anchor.
+  if (anchor_joint != nullptr) {
+    const double ax = anchor_joint[dim_index];
+    const double lo = ax - window;
+    for (const DeviceId id : active) {
+      const double x = col[id];
+      if (x >= lo && x <= ax) edges.push_back(x);
+    }
+  } else {
+    for (const DeviceId id : active) edges.push_back(col[id]);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  auto& next = scratch.next[dim_index];
+  for (const double lower : edges) {
+    if (counters != nullptr) ++counters->windows_explored;
+    const double upper = lower + window;
+    next.clear();
+    for (const DeviceId id : active) {
+      const double x = col[id];
+      if (x >= lower && x <= upper) next.push_back(id);
+    }
+    slide(state, window, next, dim_index + 1, anchor_joint, scratch, counters);
+  }
+}
+
+/// Core of enumerate_maximal_windows over reusable scratch: fills
+/// scratch.maximal with the store indices of the inclusion-maximal covers,
+/// in lexicographic (by members) order — the project-wide family order.
+void enumerate_into(const StatePair& state, const Params& params,
+                    std::span<const DeviceId> pool_in,
+                    std::optional<DeviceId> anchor, OracleCounters* counters,
+                    EnumerationScratch& scratch) {
+  const double window = params.window();
+  std::array<double, Point::kMaxDim> anchor_coords{};
+  const double* anchor_joint = nullptr;
+
+  auto& pool = scratch.pool;
+  pool.clear();
+  if (anchor.has_value()) {
+    // Only devices within 2r of the anchor can share a motion with it.
+    for (const DeviceId candidate : pool_in) {
+      if (state.joint_distance(*anchor, candidate) <= window) {
+        pool.push_back(candidate);
+      }
+    }
+    const Point& a = state.joint(*anchor);
+    for (std::size_t t = 0; t < state.joint_dim(); ++t) anchor_coords[t] = a[t];
+    anchor_joint = anchor_coords.data();
+  } else {
+    pool.assign(pool_in.begin(), pool_in.end());
+  }
+  std::sort(pool.begin(), pool.end());
+
+  if (scratch.edges.size() < state.joint_dim()) {
+    scratch.edges.resize(state.joint_dim());
+    scratch.next.resize(state.joint_dim());
+  }
+  scratch.covers.clear();
+  scratch.maximal.clear();
+  if (pool.empty()) return;
+  slide(state, window, pool, 0, anchor_joint, scratch, counters);
+
+  // Keep the inclusion-maximal covers. Scanning in size-descending order, a
+  // cover with any strict superset in the store also has one among the
+  // already-accepted maximal covers (subset is transitive and equal-size
+  // containment is equality, impossible after dedup), so each cover is
+  // checked against the few survivors only.
+  const CoverStore& covers = scratch.covers;
+  auto& order = scratch.order;
+  order.resize(covers.count());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const auto ra = covers.run(a);
+    const auto rb = covers.run(b);
+    if (ra.size() != rb.size()) return ra.size() > rb.size();
+    return std::lexicographical_compare(ra.begin(), ra.end(), rb.begin(), rb.end());
+  });
+  auto& maximal = scratch.maximal;
+  for (const std::uint32_t candidate : order) {
+    bool covered = false;
+    for (const std::uint32_t other : maximal) {
+      if (run_is_strict_subset(covers.run(candidate), covers.run(other))) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) maximal.push_back(candidate);
+  }
+  // Family order: lexicographic by members (a shorter prefix sorts first),
+  // matching DeviceSet's vector comparison project-wide.
+  std::sort(maximal.begin(), maximal.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const auto ra = covers.run(a);
+    const auto rb = covers.run(b);
+    return std::lexicographical_compare(ra.begin(), ra.end(), rb.begin(), rb.end());
+  });
+}
+
+}  // namespace
+
+std::vector<DeviceSet> enumerate_maximal_windows(const StatePair& state,
+                                                 const Params& params,
+                                                 std::vector<DeviceId> pool,
+                                                 std::optional<DeviceId> anchor,
+                                                 OracleCounters* counters) {
+  EnumerationScratch scratch;
+  enumerate_into(state, params, pool, anchor, counters, scratch);
+  std::vector<DeviceSet> family;
+  family.reserve(scratch.maximal.size());
+  for (const std::uint32_t i : scratch.maximal) {
+    const auto run = scratch.covers.run(i);
+    family.push_back(
+        DeviceSet::from_sorted(std::vector<DeviceId>(run.begin(), run.end())));
+  }
+  return family;
+}
+
+MotionPlane::MotionPlane(const StatePair& state, Params params)
+    : state_(state),
+      params_(params),
+      grid_(state, state.abnormal(), std::max(params.window(), kMinGridCell)) {
+  params_.validate();
+
+  const DeviceSet& abnormal = state_.abnormal();
+  ids_.assign(abnormal.begin(), abnormal.end());
+  const std::size_t m = ids_.size();
+
+  // Pass 1: neighbourhoods, one grid query per device into the flat arena.
+  nbr_offsets_.reserve(m + 1);
+  nbr_offsets_.push_back(0);
+  std::vector<DeviceId> nbr_scratch;
+  for (const DeviceId j : ids_) {
+    ++counters_.neighbourhood_queries;
+    grid_.within_into(j, params_.window(), nbr_scratch);
+    nbr_arena_.insert(nbr_arena_.end(), nbr_scratch.begin(), nbr_scratch.end());
+    nbr_offsets_.push_back(static_cast<std::uint32_t>(nbr_arena_.size()));
+  }
+
+  // Pass 2: connected components of the 2r-interaction graph (edges are the
+  // neighbourhood lists), then ONE unanchored enumeration per component.
+  // Correctness hinges on an exact identity: a motion that is
+  // inclusion-maximal among the motions containing j is inclusion-maximal
+  // among ALL motions (every superset of it still contains j), so
+  // M(j) == { M in maxMotions(component of j) : j in M }. This is the
+  // "compute each A_k's motion families once" inversion — a blob of size b
+  // is slid once instead of once per member. Validated against brute-force
+  // subset enumeration by tests/core/motion_oracle_test.cc.
+  const std::vector<std::vector<DeviceId>> components =
+      connected_components(ids_, [&](std::size_t rank) {
+        return std::span<const DeviceId>{nbr_arena_.data() + nbr_offsets_[rank],
+                                         nbr_offsets_[rank + 1] - nbr_offsets_[rank]};
+      });
+
+  motion_offsets_.push_back(0);
+  std::vector<std::vector<MotionId>> family_of(m);
+  std::vector<std::vector<MotionId>> dense_of(m);
+  EnumerationScratch scratch;
+  for (const std::vector<DeviceId>& comp : components) {
+    ++counters_.enumeration_calls;
+    enumerate_into(state_, params_, comp, std::nullopt, &counters_, scratch);
+    // scratch.maximal is lexicographic by members; appending in this order
+    // keeps every member's family in the project-wide deterministic order.
+    for (const std::uint32_t i : scratch.maximal) {
+      const auto run = scratch.covers.run(i);
+      const MotionId mid = intern(run);
+      const bool dense = run.size() > params_.tau;
+      counters_.motions_shared += run.size() - 1;  // one arena run, |M| families
+      for (const DeviceId member : run) {
+        const auto rank = static_cast<std::size_t>(
+            std::lower_bound(ids_.begin(), ids_.end(), member) - ids_.begin());
+        family_of[rank].push_back(mid);
+        if (dense) dense_of[rank].push_back(mid);
+      }
+    }
+  }
+
+  maximal_offsets_.reserve(m + 1);
+  maximal_offsets_.push_back(0);
+  dense_offsets_.reserve(m + 1);
+  dense_offsets_.push_back(0);
+  for (std::size_t rank = 0; rank < m; ++rank) {
+    maximal_ids_.insert(maximal_ids_.end(), family_of[rank].begin(),
+                        family_of[rank].end());
+    dense_ids_.insert(dense_ids_.end(), dense_of[rank].begin(),
+                      dense_of[rank].end());
+    maximal_offsets_.push_back(static_cast<std::uint32_t>(maximal_ids_.size()));
+    dense_offsets_.push_back(static_cast<std::uint32_t>(dense_ids_.size()));
+  }
+}
+
+bool MotionPlane::covers(DeviceId j) const noexcept {
+  return std::binary_search(ids_.begin(), ids_.end(), j);
+}
+
+std::span<const DeviceId> MotionPlane::neighbourhood(DeviceId j) const {
+  const std::size_t rank = rank_of(j);
+  return {nbr_arena_.data() + nbr_offsets_[rank],
+          nbr_offsets_[rank + 1] - nbr_offsets_[rank]};
+}
+
+std::span<const MotionPlane::MotionId> MotionPlane::maximal(DeviceId j) const {
+  const std::size_t rank = rank_of(j);
+  return {maximal_ids_.data() + maximal_offsets_[rank],
+          maximal_offsets_[rank + 1] - maximal_offsets_[rank]};
+}
+
+std::span<const MotionPlane::MotionId> MotionPlane::dense(DeviceId j) const {
+  const std::size_t rank = rank_of(j);
+  return {dense_ids_.data() + dense_offsets_[rank],
+          dense_offsets_[rank + 1] - dense_offsets_[rank]};
+}
+
+bool MotionPlane::motion_contains(MotionId m, DeviceId id) const noexcept {
+  const auto run = members(m);
+  return std::binary_search(run.begin(), run.end(), id);
+}
+
+std::size_t MotionPlane::rank_of(DeviceId j) const {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), j);
+  if (it == ids_.end() || *it != j) {
+    throw std::invalid_argument("MotionPlane: device " + std::to_string(j) +
+                                " is not in A_k");
+  }
+  return static_cast<std::size_t>(it - ids_.begin());
+}
+
+MotionPlane::MotionId MotionPlane::intern(std::span<const DeviceId> motion) {
+  // Uniqueness holds by construction: within a component the cover store
+  // already dedups, and components have disjoint member sets — so every
+  // call appends a new distinct run. The sharing the arena buys is one run
+  // serving every member's family list.
+  const auto mid = static_cast<MotionId>(motion_count());
+  motion_arena_.insert(motion_arena_.end(), motion.begin(), motion.end());
+  motion_offsets_.push_back(static_cast<std::uint32_t>(motion_arena_.size()));
+  ++counters_.motions_stored;
+  return mid;
+}
+
+}  // namespace acn

@@ -1,0 +1,132 @@
+// MotionPlane: the snapshot-level motion precomputation.
+//
+// The paper's scalability argument (§VIII) is that per-device work tracks
+// the dimensioned neighbourhood size, not n — every Theorem 5/6/7 decision
+// reads only motion families of devices within 4r of the device deciding.
+// The seed implementation re-derived those overlapping families per device
+// (split_neighbourhood re-filtered every neighbour's dense family on every
+// call), so a massive anomaly of size m paid O(m^2) family filters per
+// snapshot. The plane inverts that: one pass per snapshot computes, for
+// every abnormal device of A_k, its 2r-neighbourhood, its maximal-motion
+// family (Algorithm 2) and its tau-dense family (W-bar_k), after which each
+// per-device decision is a read-only lookup — and the decisions can run in
+// parallel across A_k (Characterizer::characterize_all_parallel).
+//
+// Storage is flat throughout:
+//   * neighbourhoods live in one contiguous DeviceId arena, sliced by
+//     offset per device;
+//   * motions live in an arena-style store — each distinct motion is an
+//     (offset, length) run of sorted DeviceIds in one contiguous buffer,
+//     stored exactly once and shared by every member's family (the common
+//     case inside a blob: all members of a dense cluster see the same
+//     maximal motions). One enumeration per interaction component makes
+//     the runs distinct by construction, so no dedup pass is needed;
+//   * per-device families are (offset, length) slices of MotionId arrays.
+//
+// MotionOracle is a thin view over the plane (it keeps only query memos),
+// and the canonical-window enumeration shared by the plane build and the
+// oracle's pool queries lives here as a free function.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/device_set.hpp"
+#include "core/grid_index.hpp"
+#include "core/params.hpp"
+#include "core/state.hpp"
+
+namespace acn {
+
+/// Work counters; the evaluation (Table III) reports operation counts.
+/// Filled by the plane build and advanced further by MotionOracle queries.
+struct OracleCounters {
+  std::uint64_t neighbourhood_queries = 0;  ///< grid lookups (message analogue)
+  std::uint64_t windows_explored = 0;       ///< canonical windows visited
+  std::uint64_t covers_generated = 0;       ///< window covers materialized
+  std::uint64_t enumeration_calls = 0;      ///< maxMotions invocations (pre-memo)
+  std::uint64_t motions_stored = 0;         ///< distinct motions in the arena
+  std::uint64_t motions_shared = 0;  ///< family references beyond the first
+                                     ///< to an interned motion (arena reuse)
+};
+
+/// Canonical-window enumeration (the paper's Algorithm 2 core): all
+/// inclusion-maximal r-consistent motions within `pool`; when `anchor` is
+/// set, only motions containing the anchor. Deterministic (sorted) order.
+/// Shared by the MotionPlane build and MotionOracle's pool queries.
+[[nodiscard]] std::vector<DeviceSet> enumerate_maximal_windows(
+    const StatePair& state, const Params& params, std::vector<DeviceId> pool,
+    std::optional<DeviceId> anchor, OracleCounters* counters = nullptr);
+
+class MotionPlane {
+ public:
+  /// Index of an interned motion within the plane's store.
+  using MotionId = std::uint32_t;
+
+  /// Builds the whole plane for state.abnormal() eagerly. `state` must
+  /// outlive the plane.
+  MotionPlane(const StatePair& state, Params params);
+
+  [[nodiscard]] const StatePair& state() const noexcept { return state_; }
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+  [[nodiscard]] const GridIndex& grid() const noexcept { return grid_; }
+
+  /// |A_k|: number of devices the plane covers.
+  [[nodiscard]] std::size_t device_count() const noexcept { return ids_.size(); }
+  /// True iff j is abnormal (covered by the plane).
+  [[nodiscard]] bool covers(DeviceId j) const noexcept;
+
+  /// N(j): abnormal devices within 2r of j, j included. Sorted. Requires
+  /// covers(j) (throws std::invalid_argument otherwise).
+  [[nodiscard]] std::span<const DeviceId> neighbourhood(DeviceId j) const;
+  /// M(j): ids of all maximal motions containing j, in deterministic
+  /// (lexicographic by members) order. Requires covers(j).
+  [[nodiscard]] std::span<const MotionId> maximal(DeviceId j) const;
+  /// W-bar_k(j): ids of the tau-dense members of M(j), same order.
+  /// Requires covers(j).
+  [[nodiscard]] std::span<const MotionId> dense(DeviceId j) const;
+
+  /// Members of one interned motion (sorted run in the arena).
+  [[nodiscard]] std::span<const DeviceId> members(MotionId m) const noexcept {
+    return {motion_arena_.data() + motion_offsets_[m],
+            motion_offsets_[m + 1] - motion_offsets_[m]};
+  }
+  [[nodiscard]] bool motion_contains(MotionId m, DeviceId id) const noexcept;
+
+  /// Number of distinct motions in the arena (after interning).
+  [[nodiscard]] std::size_t motion_count() const noexcept {
+    return motion_offsets_.size() - 1;
+  }
+  [[nodiscard]] const OracleCounters& counters() const noexcept { return counters_; }
+
+ private:
+  /// Rank of j within the sorted A_k ids; throws if not abnormal.
+  [[nodiscard]] std::size_t rank_of(DeviceId j) const;
+  /// Appends one sorted member run to the arena store (runs are distinct by
+  /// construction — see the ctor) and returns its id.
+  MotionId intern(std::span<const DeviceId> motion);
+
+  const StatePair& state_;
+  Params params_;
+  GridIndex grid_;
+  std::vector<DeviceId> ids_;  ///< A_k, sorted
+
+  // Per-device slices (all offset arrays have device_count() + 1 entries).
+  std::vector<std::uint32_t> nbr_offsets_;
+  std::vector<DeviceId> nbr_arena_;
+  std::vector<std::uint32_t> maximal_offsets_;
+  std::vector<MotionId> maximal_ids_;
+  std::vector<std::uint32_t> dense_offsets_;
+  std::vector<MotionId> dense_ids_;
+
+  // The interned motion store.
+  std::vector<std::uint32_t> motion_offsets_;  ///< motion_count() + 1 entries
+  std::vector<DeviceId> motion_arena_;
+
+  OracleCounters counters_;
+};
+
+}  // namespace acn

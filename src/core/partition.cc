@@ -101,9 +101,10 @@ bool is_valid_anomaly_partition(const StatePair& state, Params params,
   // of the sparse-union pool that is itself dense; conversely a dense maximal
   // motion is a dense subset.)
   if (!sparse_union.empty()) {
-    MotionOracle oracle(state, params);
-    const std::vector<DeviceId> pool(sparse_union.begin(), sparse_union.end());
-    for (const DeviceSet& motion : oracle.maximal_motions_of_pool(pool)) {
+    // Pure pool enumeration — no plane build, the pool is the input.
+    std::vector<DeviceId> pool(sparse_union.begin(), sparse_union.end());
+    for (const DeviceSet& motion : enumerate_maximal_windows(
+             state, params, std::move(pool), std::nullopt)) {
       if (is_dense(motion, params.tau)) {
         return fail("C1 violated: dense motion " + motion.to_string() +
                     " inside the sparse union");

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <functional>
 #include <limits>
-#include <numeric>
 
+#include "core/grid_index.hpp"
 #include "core/motion.hpp"
 #include "core/motion_oracle.hpp"
 
@@ -22,35 +22,15 @@ PartitionEnumerator::PartitionEnumerator(const StatePair& state, Params params,
 std::vector<std::vector<DeviceId>> PartitionEnumerator::components() const {
   const DeviceSet& abnormal = state_.abnormal();
   const std::vector<DeviceId> ids(abnormal.begin(), abnormal.end());
-  std::vector<std::size_t> parent(ids.size());
-  std::iota(parent.begin(), parent.end(), 0);
-
-  const auto find = [&](std::size_t x) {
-    while (parent[x] != x) {
-      parent[x] = parent[parent[x]];
-      x = parent[x];
-    }
-    return x;
-  };
-  for (std::size_t a = 0; a < ids.size(); ++a) {
-    for (std::size_t b = a + 1; b < ids.size(); ++b) {
-      if (state_.joint_distance(ids[a], ids[b]) <= params_.window()) {
-        parent[find(a)] = find(b);
-      }
-    }
-  }
-  std::vector<std::vector<DeviceId>> comps;
-  std::vector<std::int64_t> slot(ids.size(), -1);
-  for (std::size_t a = 0; a < ids.size(); ++a) {
-    const std::size_t root = find(a);
-    if (slot[root] < 0) {
-      slot[root] = static_cast<std::int64_t>(comps.size());
-      comps.emplace_back();
-    }
-    comps[static_cast<std::size_t>(slot[root])].push_back(ids[a]);
-  }
-  for (auto& comp : comps) std::sort(comp.begin(), comp.end());
-  return comps;
+  if (ids.empty()) return {};
+  // Interaction edges through the 2r grid instead of the all-pairs scan:
+  // within() filters by exact joint distance, so the edge set is identical.
+  const GridIndex grid(state_, abnormal, std::max(params_.window(), kMinGridCell));
+  std::vector<DeviceId> neighbours;
+  return connected_components(ids, [&](std::size_t rank) {
+    grid.within_into(ids[rank], params_.window(), neighbours);
+    return std::span<const DeviceId>(neighbours);
+  });
 }
 
 namespace {

@@ -37,6 +37,11 @@ StatePair::StatePair(Snapshot prev, Snapshot curr, DeviceSet abnormal)
   for (DeviceId j = 0; j < n(); ++j) {
     joint_.push_back(Point::concat(prev_[j], curr_[j]));
   }
+  joint_cols_.resize(joint_dim() * n());
+  for (std::size_t t = 0; t < joint_dim(); ++t) {
+    double* col = joint_cols_.data() + t * n();
+    for (DeviceId j = 0; j < n(); ++j) col[j] = joint_[j][t];
+  }
 }
 
 }  // namespace acn

@@ -53,6 +53,15 @@ class StatePair {
   /// Joint position (coords at k-1 concatenated with coords at k); cached.
   [[nodiscard]] const Point& joint(DeviceId j) const noexcept { return joint_[j]; }
 
+  /// Structure-of-arrays view of one joint dimension: joint_col(t)[j] ==
+  /// joint(j)[t], one contiguous double row per dimension. The canonical
+  /// window slides scan one dimension across many devices; the columnar
+  /// layout turns those inner loops into flat-array scans instead of strided
+  /// Point reads.
+  [[nodiscard]] const double* joint_col(std::size_t dim) const noexcept {
+    return joint_cols_.data() + dim * n();
+  }
+
   /// A_k: devices with an abnormal trajectory in [k-1, k].
   [[nodiscard]] const DeviceSet& abnormal() const noexcept { return abnormal_; }
   [[nodiscard]] bool is_abnormal(DeviceId j) const noexcept {
@@ -71,6 +80,7 @@ class StatePair {
   Snapshot curr_;
   DeviceSet abnormal_;
   std::vector<Point> joint_;
+  std::vector<double> joint_cols_;  ///< column-major copy: [dim][device]
 };
 
 }  // namespace acn

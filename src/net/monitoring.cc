@@ -63,8 +63,10 @@ std::optional<SnapshotOutcome> MonitoringSwarm::tick(QosNetwork& network,
 
   const StatePair state(*last_snapshot_, current, outcome.abnormal);
   Characterizer characterizer(state, config_.model, config_.characterize);
-  for (const DeviceId g : outcome.abnormal) {
-    const Decision decision = characterizer.characterize(g);
+  const std::vector<Decision> decisions = characterizer.decide_all();
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    const DeviceId g = outcome.abnormal[i];
+    const Decision& decision = decisions[i];
     outcome.reports.push_back(GatewayReport{g, decision.cls, decision.rule});
     switch (decision.cls) {
       case AnomalyClass::kIsolated:

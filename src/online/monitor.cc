@@ -23,10 +23,16 @@ IntervalReport OnlineMonitor::observe(const Snapshot& positions,
     if (!abnormal.empty()) {
       const StatePair state(*last_, positions, abnormal);
       Characterizer characterizer(state, config_.model, config_.characterize);
-      for (const DeviceId j : abnormal) {
-        const Decision decision = characterizer.characterize(j);
-        report.decisions.emplace(j, decision);
-        switch (decision.cls) {
+      // One shared motion plane per interval; the batch path reads it either
+      // serially or across the configured worker pool.
+      const std::vector<Decision> decisions =
+          config_.characterize_threads == 1
+              ? characterizer.decide_all()
+              : characterizer.decide_all_parallel(config_.characterize_threads);
+      for (std::size_t i = 0; i < decisions.size(); ++i) {
+        const DeviceId j = abnormal[i];
+        report.decisions.emplace(j, decisions[i]);
+        switch (decisions[i].cls) {
           case AnomalyClass::kIsolated:
             report.isolated = report.isolated.with(j);
             break;

@@ -40,6 +40,10 @@ class OnlineMonitor {
   struct Config {
     Params model;
     CharacterizeOptions characterize;
+    /// Worker threads for the per-interval characterization fan-out over the
+    /// shared MotionPlane: 1 = serial (default), 0 = hardware concurrency.
+    /// Verdicts are identical either way.
+    unsigned characterize_threads = 1;
     std::uint64_t episode_quiet_intervals = 1;
     std::optional<AdaptiveSampler::Config> adaptive;  ///< nullopt = fixed rate
   };

@@ -87,8 +87,21 @@ Decision ProtocolDriver::characterize_local_view(DeviceId j) const {
     if (node.known_abnormal.contains(id)) abnormal.push_back(next);
     ++next;
   }
+  // §V locality, executed: j's decision reads only trajectories within 4r
+  // of j (its 2r-neighbours' families reach another 2r). Clipping the
+  // abnormal set to that ball keeps every family input to Theorems 5-7
+  // intact while sparing the motion-plane build from unrelated blobs a
+  // wide multi-hop view may have gossiped in. Clip on the raw points (the
+  // joint Chebyshev distance is the max over both instants) so only one
+  // StatePair is ever built.
+  std::vector<DeviceId> local_abnormal;
+  for (const DeviceId a : abnormal) {
+    const double joint_dist = std::max(chebyshev(prev[a], prev[local_j]),
+                                       chebyshev(curr[a], curr[local_j]));
+    if (joint_dist <= 2.0 * config_.model.window()) local_abnormal.push_back(a);
+  }
   const StatePair view(Snapshot(std::move(prev)), Snapshot(std::move(curr)),
-                       DeviceSet(std::move(abnormal)));
+                       DeviceSet(std::move(local_abnormal)));
   Characterizer characterizer(view, config_.model, config_.characterize);
   return characterizer.characterize(local_j);
 }

@@ -3,15 +3,19 @@
 namespace acn {
 
 StepMetrics evaluate_step(const ScenarioStep& step, Params model,
-                          const CharacterizeOptions& options) {
+                          const CharacterizeOptions& options, unsigned threads) {
   StepMetrics metrics;
   metrics.abnormal = step.state.abnormal().size();
   metrics.truly_isolated = step.truth.truly_isolated.size();
   if (metrics.abnormal == 0) return metrics;
 
   Characterizer characterizer(step.state, model, options);
-  for (const DeviceId j : step.state.abnormal()) {
-    const Decision decision = characterizer.characterize(j);
+  const std::vector<Decision> decisions =
+      threads == 1 ? characterizer.decide_all()
+                   : characterizer.decide_all_parallel(threads);
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    const DeviceId j = step.state.abnormal()[i];
+    const Decision& decision = decisions[i];
     switch (decision.rule) {
       case DecisionRule::kTheorem5:
         ++metrics.isolated_thm5;

@@ -47,8 +47,11 @@ struct StepMetrics {
 
 /// Characterizes all abnormal devices of `step` (under model parameters
 /// `model`, normally ScenarioParams::model) and tallies the metrics.
+/// `threads` selects the characterization fan-out (1 = serial, 0 = hardware
+/// concurrency); the tallied decisions are identical for any value.
 [[nodiscard]] StepMetrics evaluate_step(const ScenarioStep& step, Params model,
-                                        const CharacterizeOptions& options = {});
+                                        const CharacterizeOptions& options = {},
+                                        unsigned threads = 1);
 
 /// Aggregates step metrics across a run (means weighted per step).
 struct RunMetrics {

@@ -108,9 +108,11 @@ TEST(MotionOracleTest, NeighbourhoodIsSymmetricAndWithin2r) {
   const StatePair state = test::make_static_1d({0.10, 0.15, 0.50});
   MotionOracle oracle(state, {.r = 0.05, .tau = 1});
   const auto n0 = oracle.neighbourhood(0);
-  EXPECT_EQ(n0, (std::vector<DeviceId>{0, 1}));
+  EXPECT_EQ(std::vector<DeviceId>(n0.begin(), n0.end()),
+            (std::vector<DeviceId>{0, 1}));
   const auto n2 = oracle.neighbourhood(2);
-  EXPECT_EQ(n2, (std::vector<DeviceId>{2}));
+  EXPECT_EQ(std::vector<DeviceId>(n2.begin(), n2.end()),
+            (std::vector<DeviceId>{2}));
 }
 
 TEST(MotionOracleTest, CountersAdvance) {
