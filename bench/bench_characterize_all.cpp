@@ -1,20 +1,26 @@
-// End-to-end characterize_all timings over the §VII-A workload — the perf
-// trajectory anchor for the snapshot-level motion plane (ISSUE 2).
+// End-to-end per-interval pipeline timings over the §VII-A workload — the
+// perf trajectory anchor for the snapshot-level motion plane (ISSUE 2) and
+// the locality-bounded incremental engine (ISSUE 3).
 //
-// For every (n, A) cell the bench generates `steps` scenario intervals,
-// then times a full characterize_all per interval. Timings exclude
-// scenario generation; each timed run constructs its own Characterizer,
-// so per-snapshot precomputation (grid build, motion-family enumeration)
-// is charged to the run — exactly what the online monitor pays per
-// interval.
+// For every (n, A) cell the bench generates `steps` scenario intervals and
+// streams them through a FrameEngine exactly like the online monitor does:
+// per interval the engine rolls its StatePair in place, re-buckets only the
+// devices that moved, rebuilds the motion plane over the 4r-closure of A_k,
+// and characterizes every abnormal device. Timings are per observe() call
+// and broken down by phase (state roll + grid update / plane build /
+// characterize) from the engine's FrameStats. Scenario generation is
+// excluded. A `scratch ms` column times the seed-style from-scratch rebuild
+// (fresh Characterizer per interval) whose verdicts every engine run is
+// checked against — the incremental path must match it byte for byte.
 //
 // `--smoke` runs a single small cell (CI-sized) and exits non-zero if the
-// serial and parallel paths ever disagree.
+// engine (serial or pooled) ever disagrees with the from-scratch rebuild.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 
 #include "core/characterizer.hpp"
+#include "core/frame.hpp"
 #include "sim/scenario.hpp"
 
 namespace {
@@ -26,11 +32,49 @@ double ms_since(Clock::time_point start) {
 }
 
 struct CellResult {
-  double serial_ms_per_step = 0.0;
-  double parallel_ms_per_step = 0.0;
+  double grid_ms_per_step = 0.0;   // state roll + fleet-grid re-bucketing
+  double plane_ms_per_step = 0.0;  // motion-plane build (4r-closure)
+  double characterize_ms_per_step = 0.0;
+  double serial_ms_per_step = 0.0;    // engine, threads=1
+  double parallel_ms_per_step = 0.0;  // engine, pooled
+  double scratch_ms_per_step = 0.0;   // from-scratch rebuild (reference)
   double abnormal_mean = 0.0;
   bool ok = true;
 };
+
+/// Streams the generated intervals through one engine; returns per-step
+/// verdicts and accumulates phase timings into `cell` when `phases` is set.
+std::vector<acn::CharacterizationSets> run_engine(
+    const std::vector<acn::ScenarioStep>& generated, const acn::ScenarioParams& params,
+    unsigned threads, bool force_fanout, CellResult* phases, double* total_ms) {
+  // force_fanout drops the serial-fallback thresholds to 1 so the pool
+  // machinery genuinely runs in the smoke cell (whose |A_k| sits below the
+  // production grain) even on single-core CI.
+  acn::CharacterizeOptions options;
+  if (force_fanout) options.parallel_grain = 1;
+  acn::FrameEngine engine(acn::FrameEngine::Config{
+      .model = params.model,
+      .characterize = options,
+      .threads = threads,
+      .component_fanout = force_fanout ? 1u : 2u});
+  (void)engine.observe(generated.front().state.prev(), acn::DeviceSet{});
+
+  std::vector<acn::CharacterizationSets> sets;
+  sets.reserve(generated.size());
+  const auto start = Clock::now();
+  for (const acn::ScenarioStep& step : generated) {
+    auto result = engine.observe(step.state.curr(), step.state.abnormal());
+    sets.push_back(std::move(result->sets));
+    if (phases != nullptr) {
+      const acn::FrameStats& stats = engine.last_stats();
+      phases->grid_ms_per_step += stats.state_ms + stats.grid_ms;
+      phases->plane_ms_per_step += stats.plane_ms;
+      phases->characterize_ms_per_step += stats.characterize_ms;
+    }
+  }
+  *total_ms = ms_since(start);
+  return sets;
+}
 
 CellResult run_cell(std::size_t n, std::uint32_t errors, std::uint64_t steps,
                     bool smoke) {
@@ -56,38 +100,45 @@ CellResult run_cell(std::size_t n, std::uint32_t errors, std::uint64_t steps,
     (void)warm.characterize_all();
   }
 
-  const auto serial_start = Clock::now();
-  std::vector<acn::CharacterizationSets> serial_sets;
-  serial_sets.reserve(steps);
+  // From-scratch reference: fresh Characterizer per interval — what every
+  // consumer paid before the engine, and the verdict ground truth.
+  std::vector<acn::CharacterizationSets> scratch_sets;
+  scratch_sets.reserve(steps);
+  const auto scratch_start = Clock::now();
   for (const acn::ScenarioStep& step : generated) {
     acn::Characterizer characterizer(step.state, params.model);
-    serial_sets.push_back(characterizer.characterize_all());
+    scratch_sets.push_back(characterizer.characterize_all());
   }
-  result.serial_ms_per_step = ms_since(serial_start) / static_cast<double>(steps);
+  result.scratch_ms_per_step = ms_since(scratch_start) / static_cast<double>(steps);
 
-  // Parallel path: hardware concurrency; in smoke mode an explicit 4-worker
-  // pool, so the thread machinery is exercised even on single-core CI.
-  const unsigned threads = smoke ? 4 : 0;
-  const auto parallel_start = Clock::now();
-  std::vector<acn::CharacterizationSets> parallel_sets;
-  parallel_sets.reserve(steps);
-  for (const acn::ScenarioStep& step : generated) {
-    acn::Characterizer characterizer(step.state, params.model);
-    parallel_sets.push_back(characterizer.characterize_all_parallel(threads));
-  }
-  result.parallel_ms_per_step = ms_since(parallel_start) / static_cast<double>(steps);
+  double serial_ms = 0.0;
+  const std::vector<acn::CharacterizationSets> serial_sets =
+      run_engine(generated, params, 1, false, &result, &serial_ms);
+  result.serial_ms_per_step = serial_ms / static_cast<double>(steps);
+  result.grid_ms_per_step /= static_cast<double>(steps);
+  result.plane_ms_per_step /= static_cast<double>(steps);
+  result.characterize_ms_per_step /= static_cast<double>(steps);
+
+  // Pooled path: hardware concurrency; in smoke mode an explicit 4-lane
+  // pool, so the pool machinery is exercised even on single-core CI.
+  double parallel_ms = 0.0;
+  const std::vector<acn::CharacterizationSets> parallel_sets =
+      run_engine(generated, params, smoke ? 4 : 0, smoke, nullptr, &parallel_ms);
+  result.parallel_ms_per_step = parallel_ms / static_cast<double>(steps);
 
   for (std::size_t k = 0; k < generated.size(); ++k) {
-    const auto& sets = serial_sets[k];
-    if (sets.isolated.size() + sets.massive.size() + sets.unresolved.size() !=
+    const auto& truth = scratch_sets[k];
+    if (truth.isolated.size() + truth.massive.size() + truth.unresolved.size() !=
         generated[k].state.abnormal().size()) {
       result.ok = false;
     }
-    // Byte-identical serial/parallel verdicts, the plane's core guarantee.
-    if (parallel_sets[k].isolated != sets.isolated ||
-        parallel_sets[k].massive != sets.massive ||
-        parallel_sets[k].unresolved != sets.unresolved) {
-      result.ok = false;
+    // Byte-identical verdicts: incremental engine (any pool size) vs the
+    // from-scratch rebuild — the pipeline's core guarantee.
+    for (const auto* sets : {&serial_sets[k], &parallel_sets[k]}) {
+      if (sets->isolated != truth.isolated || sets->massive != truth.massive ||
+          sets->unresolved != truth.unresolved) {
+        result.ok = false;
+      }
     }
   }
   return result;
@@ -101,21 +152,22 @@ int main(int argc, char** argv) {
   std::printf("# bench_characterize_all  d=2 r=0.03 tau=3 G=0.5 seed=42%s\n",
               smoke ? "  (smoke)" : "");
   std::printf(
-      "| n | A | mean |A_k| | serial ms/step | parallel ms/step | ok |\n");
-  std::printf("|---|---|---|---|---|---|\n");
+      "| n | A | mean |A_k| | grid ms | plane ms | char ms | serial ms/step "
+      "| parallel ms/step | scratch ms/step | ok |\n");
+  std::printf("|---|---|---|---|---|---|---|---|---|---|\n");
 
-  const std::size_t ns_full[] = {1000, 5000, 20000};
+  const std::size_t ns_full[] = {1000, 5000, 20000, 50000};
   const std::uint32_t as_full[] = {10, 40, 80};
   const std::size_t ns_smoke[] = {1000};
   const std::uint32_t as_smoke[] = {10};
 
   const auto* ns = smoke ? ns_smoke : ns_full;
   const auto* as = smoke ? as_smoke : as_full;
-  const std::size_t n_count = smoke ? 1 : 3;
+  const std::size_t n_count = smoke ? 1 : 4;
   const std::size_t a_count = smoke ? 1 : 3;
   // Device density (and so ball population and family sizes) grows with n;
-  // fewer repetitions keep the large cells recordable at seed speed.
-  const std::uint64_t steps_full[] = {5, 3, 2};
+  // fewer repetitions keep the large cells recordable quickly.
+  const std::uint64_t steps_full[] = {5, 3, 2, 2};
 
   bool all_ok = true;
   for (std::size_t i = 0; i < n_count; ++i) {
@@ -123,9 +175,12 @@ int main(int argc, char** argv) {
       const std::uint64_t steps = smoke ? 2 : steps_full[i];
       const CellResult cell = run_cell(ns[i], as[j], steps, smoke);
       all_ok = all_ok && cell.ok;
-      std::printf("| %zu | %u | %.1f | %.3f | %.3f | %s |\n", ns[i], as[j],
-                  cell.abnormal_mean, cell.serial_ms_per_step,
-                  cell.parallel_ms_per_step, cell.ok ? "yes" : "NO");
+      std::printf(
+          "| %zu | %u | %.1f | %.3f | %.3f | %.3f | %.3f | %.3f | %.3f | %s |\n",
+          ns[i], as[j], cell.abnormal_mean, cell.grid_ms_per_step,
+          cell.plane_ms_per_step, cell.characterize_ms_per_step,
+          cell.serial_ms_per_step, cell.parallel_ms_per_step,
+          cell.scratch_ms_per_step, cell.ok ? "yes" : "NO");
       std::fflush(stdout);
     }
   }

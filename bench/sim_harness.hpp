@@ -21,9 +21,15 @@ inline HarnessResult run_scenario(const ScenarioParams& params, std::uint64_t st
                                   unsigned threads = 1) {
   HarnessResult result;
   ScenarioGenerator generator(params);
+  // One incremental engine per run: the generator's stream is contiguous,
+  // so each step is a locality-bounded roll (verdicts are byte-identical
+  // to the per-step from-scratch rebuild this harness used to pay).
+  FrameEngine engine(FrameEngine::Config{.model = params.model,
+                                         .characterize = options,
+                                         .threads = threads});
   for (std::uint64_t k = 0; k < steps; ++k) {
     const ScenarioStep step = generator.advance();
-    result.metrics.add(evaluate_step(step, params.model, options, threads));
+    result.metrics.add(evaluate_step(engine, step));
     result.dropped_errors += step.truth.dropped_errors;
   }
   result.steps = steps;

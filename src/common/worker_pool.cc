@@ -1,0 +1,102 @@
+#include "common/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace acn {
+
+WorkerPool::WorkerPool(unsigned parallelism) {
+  if (parallelism == 0) {
+    parallelism = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(parallelism - 1);
+  for (unsigned t = 1; t < parallelism; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void WorkerPool::run_as_lane(std::unique_lock<std::mutex>& lock) {
+  while (cursor_ < count_) {
+    const std::size_t index = cursor_++;
+    ++in_flight_;
+    lock.unlock();
+    try {
+      (*fn_)(index);
+      lock.lock();
+    } catch (...) {
+      lock.lock();
+      if (!error_) error_ = std::current_exception();
+      cursor_ = count_;  // drain: no lane claims another index
+    }
+    --in_flight_;
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (fn_ != nullptr && generation_ != seen && lanes_left_ > 0 &&
+                       cursor_ < count_);
+    });
+    if (stop_) return;
+    seen = generation_;
+    --lanes_left_;
+    run_as_lane(lock);
+    done_cv_.notify_one();
+  }
+}
+
+void WorkerPool::for_each(std::size_t count, std::size_t min_fanout,
+                          const std::function<void(std::size_t)>& fn,
+                          unsigned max_lanes) {
+  if (count == 0) return;
+  unsigned lanes = parallelism();
+  if (max_lanes != 0) lanes = std::min(lanes, max_lanes);
+  lanes = static_cast<unsigned>(
+      std::min<std::size_t>(lanes, count));  // never more lanes than items
+  if (lanes <= 1 || count < min_fanout) {
+    for (std::size_t index = 0; index < count; ++index) fn(index);
+    return;
+  }
+
+  // Callers racing for the pool queue here: the section state below (fn_,
+  // cursor_, generation_, ...) belongs to exactly one section at a time.
+  const std::lock_guard<std::mutex> section(section_mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  fn_ = &fn;
+  count_ = count;
+  cursor_ = 0;
+  in_flight_ = 0;
+  error_ = nullptr;
+  lanes_left_ = lanes - 1;
+  ++generation_;
+  work_cv_.notify_all();
+
+  // The calling thread is a lane like any other.
+  run_as_lane(lock);
+  done_cv_.wait(lock, [&] { return cursor_ >= count_ && in_flight_ == 0; });
+
+  fn_ = nullptr;
+  lanes_left_ = 0;
+  const std::exception_ptr error = error_;
+  error_ = nullptr;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+WorkerPool& WorkerPool::shared() {
+  static WorkerPool pool(0);
+  return pool;
+}
+
+}  // namespace acn

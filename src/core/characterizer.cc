@@ -1,12 +1,11 @@
 #include "core/characterizer.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
+#include <bit>
 #include <functional>
-#include <mutex>
 #include <stdexcept>
-#include <thread>
+
+#include "common/worker_pool.hpp"
 
 namespace acn {
 namespace {
@@ -83,7 +82,7 @@ Characterizer::Split Characterizer::split_neighbourhood(DeviceId j) const {
   return split;
 }
 
-Decision Characterizer::characterize_with(MotionOracle& oracle, DeviceId j) const {
+Decision Characterizer::characterize_device(DeviceId j) const {
   const MotionPlane& plane = *plane_;
   if (!plane.covers(j)) {
     throw std::invalid_argument("characterize: device " + std::to_string(j) +
@@ -123,7 +122,7 @@ Decision Characterizer::characterize_with(MotionOracle& oracle, DeviceId j) cons
 
   // Theorem 7 / Corollary 8 (Algorithms 4/5): search for a violating
   // collection; its existence certifies "unresolved", its absence "massive".
-  const NscOutcome outcome = search_violating_collection(oracle, j, split.l);
+  const NscOutcome outcome = search_violating_collection(j, split.l);
   decision.collections_tested = outcome.nodes;
   if (outcome.exhausted) {
     decision.cls = AnomalyClass::kUnresolved;  // safe side: never over-claims
@@ -140,14 +139,32 @@ Decision Characterizer::characterize_with(MotionOracle& oracle, DeviceId j) cons
 }
 
 Decision Characterizer::characterize(DeviceId j) {
-  return characterize_with(oracle_, j);
+  return characterize_device(j);
 }
 
+namespace {
+
+/// Word-parallel id set over the compact search universe (the members of the
+/// candidate bases and of j's dense motions — everything Theorem 7 can ever
+/// touch, well under a thousand ids even for massive superposed anomalies).
+struct SearchBits {
+  std::vector<std::uint64_t> words;
+
+  explicit SearchBits(std::size_t bit_count) : words((bit_count + 63) / 64, 0) {}
+  void set(std::size_t i) noexcept { words[i >> 6] |= 1ULL << (i & 63); }
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    return (words[i >> 6] >> (i & 63)) & 1;
+  }
+};
+
+}  // namespace
+
 Characterizer::NscOutcome Characterizer::search_violating_collection(
-    MotionOracle& oracle, DeviceId j, const DeviceSet& l) const {
+    DeviceId j, const DeviceSet& l) const {
   const MotionPlane& plane = *plane_;
   const StatePair& state = plane.state();
   const Params& params = plane.params();
+  const std::size_t tau = params.tau;
   NscOutcome outcome;
 
   // Every dense motion of j lives inside N(j) (its 2r-neighbourhood), so a
@@ -156,17 +173,18 @@ Characterizer::NscOutcome Characterizer::search_violating_collection(
   // violating collection (dropping it keeps not-(4): the surviving motions
   // of j are untouched), so it is pruned — exactly.
   const auto neighbours = plane.neighbourhood(j);
-  const DeviceSet reach = DeviceSet::from_sorted(
-      std::vector<DeviceId>(neighbours.begin(), neighbours.end()));
 
   // Candidate base sets: maximal dense motions of L-neighbours avoiding j.
+  // Collections are WLOG one element per base: two disjoint elements carved
+  // from the same base merge into one (their union is still a subset of the
+  // base — a motion — still dense, still holding a far and an L device).
   // The plane's interning makes id-level dedup exact; sorting by member
   // sequence reproduces the deterministic lexicographic walk order.
   std::vector<MotionPlane::MotionId> bases;
   for (const DeviceId ell : l) {
     for (const MotionPlane::MotionId mid : plane.dense(ell)) {
       if (!plane.motion_contains(mid, j) &&
-          sorted_intersection_size(plane.members(mid), reach.ids()) > 0) {
+          sorted_intersection_size(plane.members(mid), neighbours) > 0) {
         bases.push_back(mid);
       }
     }
@@ -181,16 +199,94 @@ Characterizer::NscOutcome Characterizer::search_violating_collection(
                                                   rb.end());
             });
 
-  // A set is usable in a violating collection only if it holds a device
-  // farther than 2r from j (negation of relation (5)); precompute per id.
-  const auto is_far = [&](DeviceId id) {
-    return state.joint_distance(j, id) > params.window();
+  // Compact universe: members of the bases and of j's dense motions, j
+  // excluded (j is never removable). All search state below is word-parallel
+  // over ranks into this universe.
+  std::vector<DeviceId> universe;
+  for (const MotionPlane::MotionId mid : bases) {
+    const auto run = plane.members(mid);
+    universe.insert(universe.end(), run.begin(), run.end());
+  }
+  for (const MotionPlane::MotionId mid : plane.dense(j)) {
+    const auto run = plane.members(mid);
+    universe.insert(universe.end(), run.begin(), run.end());
+  }
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()), universe.end());
+  universe.erase(std::remove(universe.begin(), universe.end(), j), universe.end());
+  const std::size_t u = universe.size();
+  const auto rank_of = [&](DeviceId id) {
+    return static_cast<std::size_t>(
+        std::lower_bound(universe.begin(), universe.end(), id) - universe.begin());
   };
 
-  // Depth-first search over base sets; at each node the collection chosen so
-  // far is tested against relation (4) via the oracle (memoized, early-exit).
-  const std::function<bool(std::size_t, const DeviceSet&)> dfs =
-      [&](std::size_t index, const DeviceSet& used) -> bool {
+  std::vector<SearchBits> base_bits(bases.size(), SearchBits(u));
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    for (const DeviceId id : plane.members(bases[i])) {
+      if (id != j) base_bits[i].set(rank_of(id));
+    }
+  }
+  // Targets: j's maximal dense motions, the only sets relation (4) consults.
+  // A dense motion containing j within A_k \ U exists iff some target keeps
+  // at least tau members outside U (those plus j form a motion of size
+  // > tau) — the counting identity has_dense_motion_avoiding also uses.
+  std::vector<SearchBits> targets;
+  targets.reserve(plane.dense(j).size());
+  for (const MotionPlane::MotionId mid : plane.dense(j)) {
+    SearchBits bits(u);
+    for (const DeviceId id : plane.members(mid)) {
+      if (id != j) bits.set(rank_of(id));
+    }
+    targets.push_back(std::move(bits));
+  }
+  const std::size_t words = (u + 63) / 64;
+  const auto rel4_broken = [&](const std::uint64_t* used) {
+    for (const SearchBits& target : targets) {
+      std::size_t survivors = 0;
+      for (std::size_t k = 0; k < words; ++k) {
+        survivors += static_cast<std::size_t>(
+            std::popcount(target.words[k] & ~used[k]));
+      }
+      if (survivors >= tau) return false;
+    }
+    return true;
+  };
+
+  // A set is usable in a violating collection only if it holds a device
+  // farther than 2r from j (negation of relation (5)); such devices are
+  // never target members (every target member shares a motion with j, hence
+  // sits within 2r of it). The L flag doubles as the effect test: L_k(j) is
+  // a subset of D_k(j) \ {j}, i.e. of the target union.
+  SearchBits far_bits(u);
+  SearchBits l_bits(u);
+  for (std::size_t i = 0; i < u; ++i) {
+    if (state.joint_distance(j, universe[i]) > params.window()) far_bits.set(i);
+    if (l.contains(universe[i])) l_bits.set(i);
+  }
+
+  // Depth-first search over base sets: at each node either skip the base or
+  // carve a qualifying subset (dense, a far member, an L member) out of its
+  // not-yet-used members. Subsets (not just whole sets) must be explored:
+  // two overlapping bases may both contribute only if trimmed to disjoint
+  // parts. Each node first applies the exact subtree bound: take every
+  // member the remaining *usable* bases could still contribute — if even
+  // that leaves a target with tau survivors, no extension of this node can
+  // break relation (4), and the subtree is pruned. This bound is what ends
+  // the search quickly on dense superposed blobs (where the seed
+  // implementation burned its whole node budget) while staying exact.
+  //
+  // All per-node state lives in per-depth scratch rows (depth == base
+  // index), so the search allocates nothing past its first descent.
+  const std::size_t depth_count = bases.size() + 1;
+  std::vector<std::uint64_t> used_rows(depth_count * words, 0);
+  std::vector<std::uint64_t> achievable_row(words);
+  std::vector<std::vector<std::size_t>> avail_rows(depth_count);
+  std::vector<std::vector<std::size_t>> pick_rows(depth_count);
+
+  // `used` always points at the caller's row; depth `index` owns the row it
+  // writes candidate subsets into before descending.
+  const std::function<bool(std::size_t, const std::uint64_t*)> dfs =
+      [&](std::size_t index, const std::uint64_t* used) -> bool {
     if (outcome.exhausted) return false;
     ++outcome.nodes;
     if (outcome.nodes > options_.node_budget) {
@@ -199,25 +295,46 @@ Characterizer::NscOutcome Characterizer::search_violating_collection(
     }
     // not-(4): no dense motion containing j survives outside `used` — the
     // collection built so far is violating (not-(5) held for each pick).
-    if (!oracle.has_dense_motion_avoiding(j, used)) return true;
+    if (rel4_broken(used)) return true;
     if (index == bases.size()) return false;
+
+    // Exact subtree bound over the usable remainder.
+    std::copy(used, used + words, achievable_row.data());
+    for (std::size_t i = index; i < bases.size(); ++i) {
+      const std::uint64_t* base = base_bits[i].words.data();
+      std::size_t unused = 0;
+      bool far_member = false;
+      bool l_member = false;
+      for (std::size_t k = 0; k < words; ++k) {
+        const std::uint64_t open = base[k] & ~used[k];
+        unused += static_cast<std::size_t>(std::popcount(open));
+        far_member = far_member || (open & far_bits.words[k]) != 0;
+        l_member = l_member || (open & l_bits.words[k]) != 0;
+      }
+      if (unused <= tau || !far_member || !l_member) continue;
+      for (std::size_t k = 0; k < words; ++k) achievable_row[k] |= base[k];
+    }
+    if (!rel4_broken(achievable_row.data())) return false;
 
     // Branch 1: carve a qualifying subset out of this base's unused members
     // (tried before skipping: witnesses usually involve the early bases).
-    // Subsets must be dense (> tau), contain a far device, an L-neighbour,
-    // and a device of N(j) (the exact-effect prune above, member level).
-    std::vector<DeviceId> avail;
-    for (const DeviceId id : plane.members(bases[index])) {
-      if (id != j && !used.contains(id)) avail.push_back(id);
+    std::vector<std::size_t>& avail = avail_rows[index];
+    avail.clear();
+    for (std::size_t i = 0; i < u; ++i) {
+      if (base_bits[index].test(i) && !((used[i >> 6] >> (i & 63)) & 1)) {
+        avail.push_back(i);
+      }
     }
     const std::size_t m = avail.size();
-    if (m <= params.tau) return dfs(index + 1, used);
+    if (m <= tau) return dfs(index + 1, used);
 
+    std::uint64_t* next = used_rows.data() + index * words;
     // Enumerate combinations per size, largest first (they prune relation
     // (4) fastest and any violating subset stays available at smaller
     // sizes). Each candidate combination is charged against the budget.
-    for (std::size_t s = m; s > params.tau; --s) {
-      std::vector<std::size_t> pick(s);
+    for (std::size_t s = m; s > tau; --s) {
+      std::vector<std::size_t>& pick = pick_rows[index];
+      pick.resize(s);
       for (std::size_t i = 0; i < s; ++i) pick[i] = i;
       for (;;) {
         ++outcome.nodes;
@@ -227,22 +344,15 @@ Characterizer::NscOutcome Characterizer::search_violating_collection(
         }
         bool far_member = false;
         bool l_member = false;
-        bool effect = false;
-        std::vector<DeviceId> members;
-        members.reserve(s);
+        std::copy(used, used + words, next);
         for (const std::size_t idx : pick) {
-          const DeviceId id = avail[idx];
-          members.push_back(id);
-          far_member = far_member || is_far(id);
-          l_member = l_member || l.contains(id);
-          effect = effect || reach.contains(id);
+          const std::size_t i = avail[idx];
+          far_member = far_member || far_bits.test(i);
+          l_member = l_member || l_bits.test(i);
+          next[i >> 6] |= 1ULL << (i & 63);
         }
-        if (far_member && l_member && effect) {
-          // `avail` is sorted and picks ascend, so `members` is sorted.
-          if (dfs(index + 1,
-                  used.set_union(DeviceSet::from_sorted(std::move(members))))) {
-            return true;
-          }
+        if (far_member && l_member) {
+          if (dfs(index + 1, next)) return true;
           if (outcome.exhausted) return false;
         }
         // Next combination in lexicographic order.
@@ -257,7 +367,8 @@ Characterizer::NscOutcome Characterizer::search_violating_collection(
     return dfs(index + 1, used);
   };
 
-  outcome.violating_found = dfs(0, DeviceSet{});
+  const std::vector<std::uint64_t> root(words, 0);
+  outcome.violating_found = dfs(0, root.data());
   return outcome;
 }
 
@@ -266,46 +377,28 @@ std::vector<Decision> Characterizer::decide_all() {
   std::vector<Decision> decisions;
   decisions.reserve(abnormal.size());
   for (const DeviceId j : abnormal) {
-    decisions.push_back(characterize_with(oracle_, j));
+    decisions.push_back(characterize_device(j));
   }
   return decisions;
 }
 
-std::vector<Decision> Characterizer::decide_all_parallel(unsigned threads) {
+std::vector<Decision> Characterizer::decide_all_on(WorkerPool& pool,
+                                                   std::size_t min_fanout,
+                                                   unsigned max_lanes) {
   const DeviceSet& abnormal = plane_->state().abnormal();
   const std::size_t m = abnormal.size();
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = static_cast<unsigned>(std::min<std::size_t>(threads, m));
-  if (threads <= 1) return decide_all();
-
   std::vector<Decision> decisions(m);
-  std::atomic<std::size_t> cursor{0};
-  std::mutex failure_mutex;
-  std::exception_ptr failure;
-
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) {
-    pool.emplace_back([&] {
-      // Private view: memo tables are thread-local, the plane is shared
-      // read-only. Slot writes are disjoint, so no result synchronization.
-      MotionOracle oracle(*plane_);
-      try {
-        for (std::size_t i = cursor.fetch_add(1); i < m; i = cursor.fetch_add(1)) {
-          decisions[i] = characterize_with(oracle, abnormal[i]);
-        }
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(failure_mutex);
-        if (!failure) failure = std::current_exception();
-        cursor.store(m);  // drain remaining work on all workers
-      }
-    });
-  }
-  for (std::thread& worker : pool) worker.join();
-  if (failure) std::rethrow_exception(failure);
+  // Each decision is a pure read of the shared plane into a private slot:
+  // any lane schedule yields bytes identical to decide_all().
+  pool.for_each(
+      m, min_fanout,
+      [&](std::size_t i) { decisions[i] = characterize_device(abnormal[i]); },
+      max_lanes);
   return decisions;
+}
+
+std::vector<Decision> Characterizer::decide_all_parallel(unsigned threads) {
+  return decide_all_on(WorkerPool::shared(), options_.parallel_grain, threads);
 }
 
 CharacterizationSets Characterizer::bucket(

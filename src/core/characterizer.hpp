@@ -15,10 +15,9 @@
 //
 // All motion families are read from a snapshot-level MotionPlane built once
 // per (state, params): the Theorem 5/6 split walks interned motion runs
-// without materializing sets, and because each per-device decision is then
-// read-only over the plane, characterize_all_parallel can fan A_k out over
-// a thread pool (one private MotionOracle view — i.e. one memo table set —
-// per worker) with byte-identical results to the serial path.
+// without materializing sets, and because each per-device decision is a
+// pure read of the plane, the batch paths fan A_k out over the persistent
+// WorkerPool (disjoint result slots, byte-identical to the serial walk).
 //
 // The Theorem 7 search: a violating collection only ever contains sets B
 // with (a) |B| > tau, (b) B a subset of some maximal dense motion M of an
@@ -27,12 +26,19 @@
 // j — see (c)), (c) at least one member farther than 2r from j in the joint
 // space (otherwise B + {j} is a motion and relation (5) holds), and (d) at
 // least one member of L_k(j) (Theorem 7 draws candidate sets from W_k(ell),
-// ell in L_k(j), whose members contain ell). The search walks the maximal
-// candidate sets, at each step either skipping one or carving a qualifying
-// subset out of its not-yet-used members, testing not-relation-(4) at every
-// node. Subsets (not just whole sets) must be explored: two overlapping
-// maximal motions may both contribute only if trimmed to disjoint parts.
-// A node budget bounds the worst case; hitting it is reported, never silent.
+// ell in L_k(j), whose members contain ell) — and collections are WLOG one
+// element per base, since disjoint elements of the same base merge. The
+// search walks the maximal candidate sets (word-parallel bitsets over the
+// compact member universe), at each step either skipping one or carving a
+// qualifying subset out of its not-yet-used members, testing
+// not-relation-(4) by counting survivors of j's precomputed dense family.
+// Every node applies an exact subtree bound — if even removing every member
+// the remaining *usable* bases offer leaves some dense motion of j with tau
+// survivors, the subtree is fruitless — which is what ends the search on
+// the dense superposed blobs where blind enumeration drowned. Subsets (not
+// just whole sets) must be explored: two overlapping maximal motions may
+// both contribute only if trimmed to disjoint parts. A node budget bounds
+// the worst case; hitting it is reported, never silent.
 #pragma once
 
 #include <cstdint>
@@ -47,6 +53,8 @@
 #include "core/state.hpp"
 
 namespace acn {
+
+class WorkerPool;
 
 /// Which condition produced the decision (Table III buckets by this).
 enum class DecisionRule : std::uint8_t {
@@ -73,8 +81,20 @@ enum class DecisionRule : std::uint8_t {
 struct CharacterizeOptions {
   /// Run Algorithms 4/5 (Theorem 7 NSC) when Algorithm 3 says "unresolved".
   bool run_full_nsc = true;
-  /// Upper bound on Theorem-7 search nodes per device.
-  std::uint64_t node_budget = 4'000'000;
+  /// Upper bound on Theorem-7 search nodes per device. A node is one DFS
+  /// entry or candidate combination, and every DFS entry now applies an
+  /// exact achievability bound over the usable remaining bases — one node
+  /// prunes what used to take thousands of blind combination nodes, so the
+  /// budget is calibrated far lower than the seed's 4M. Every resolvable
+  /// configuration observed across the paper-scale and n=20000 superposed
+  /// workloads finishes within ~60k nodes; the budget leaves 4x headroom.
+  std::uint64_t node_budget = 262'144;
+  /// |A_k| below which decide_all_parallel / characterize_all_parallel run
+  /// the inline serial loop instead of engaging the shared worker pool
+  /// (the recorded bench showed the thread machinery costing more than it
+  /// saved on every n=1000/5000 cell). Tests pin the pooled path by
+  /// setting this to 1.
+  std::size_t parallel_grain = 256;
 };
 
 /// Outcome of characterizing one device, with the work accounting the
@@ -111,11 +131,20 @@ class Characterizer {
   /// Decisions for every device of A_k, in A_k (ascending id) order.
   [[nodiscard]] std::vector<Decision> decide_all();
 
-  /// Same decisions, computed by `threads` workers (0 = hardware
-  /// concurrency) pulling devices from a shared atomic cursor. Each worker
-  /// reads the one shared plane through a private oracle view, so the
-  /// result is byte-identical to decide_all() regardless of scheduling.
+  /// Same decisions, fanned out over the process-wide persistent WorkerPool
+  /// with at most `threads` lanes (0 = every lane). Every per-device
+  /// decision is a read-only function of the shared plane and writes a
+  /// private slot, so the result is byte-identical to decide_all()
+  /// regardless of scheduling — and the fan-out silently degrades to the
+  /// inline serial loop when |A_k| is below the parallel grain (threading
+  /// overhead exceeds the work on small intervals).
   [[nodiscard]] std::vector<Decision> decide_all_parallel(unsigned threads = 0);
+
+  /// decide_all over a caller-owned pool (the streaming engine passes its
+  /// own); `min_fanout` is the |A_k| below which the loop runs inline.
+  [[nodiscard]] std::vector<Decision> decide_all_on(WorkerPool& pool,
+                                                    std::size_t min_fanout,
+                                                    unsigned max_lanes = 0);
 
   /// Characterizes every device of A_k and buckets them.
   [[nodiscard]] CharacterizationSets characterize_all();
@@ -148,12 +177,11 @@ class Characterizer {
     bool exhausted = false;
     std::uint64_t nodes = 0;
   };
-  /// `oracle` carries the mutable memo state (avoid memo), so workers pass
-  /// their private views; everything else read here is plane-const.
-  [[nodiscard]] NscOutcome search_violating_collection(MotionOracle& oracle,
-                                                      DeviceId j,
-                                                      const DeviceSet& l) const;
-  [[nodiscard]] Decision characterize_with(MotionOracle& oracle, DeviceId j) const;
+  /// Plane-const and self-contained (the search carries its own bitset
+  /// state), so any number of pool lanes may run it concurrently.
+  [[nodiscard]] NscOutcome search_violating_collection(DeviceId j,
+                                                       const DeviceSet& l) const;
+  [[nodiscard]] Decision characterize_device(DeviceId j) const;
   [[nodiscard]] CharacterizationSets bucket(const std::vector<Decision>& decisions) const;
 
   std::optional<MotionPlane> owned_plane_;  ///< engaged by the state ctor

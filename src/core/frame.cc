@@ -1,0 +1,109 @@
+#include "core/frame.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace acn {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+void SnapshotRing::prime(Snapshot first) {
+  Snapshot prev = first;  // the one unavoidable copy: both slots of S_0
+  state_.emplace(std::move(prev), std::move(first), DeviceSet{});
+  moved_.clear();
+}
+
+const std::vector<DeviceId>& SnapshotRing::advance(Snapshot next,
+                                                   DeviceSet abnormal) {
+  if (!primed()) {
+    throw std::logic_error("SnapshotRing::advance: prime() a snapshot first");
+  }
+  state_->advance(std::move(next), std::move(abnormal), &moved_);
+  return moved_;
+}
+
+FrameEngine::FrameEngine(Config config)
+    : config_(config),
+      grid_(std::max(config.model.window(), kMinGridCell)),
+      pool_(config.threads),
+      source_(*this) {
+  config_.model.validate();
+}
+
+std::optional<FrameEngine::Result> FrameEngine::observe(Snapshot positions,
+                                                        DeviceSet abnormal) {
+  stats_ = {};
+  if (!ring_.primed()) {
+    // Priming snapshot: no previous state, nothing to characterize (any
+    // abnormal ids are moot — there is no interval they fired in).
+    auto t0 = Clock::now();
+    ring_.prime(std::move(positions));
+    abnormal_flag_.assign(ring_.state().n(), 0);
+    stats_.state_ms = ms_since(t0);
+    t0 = Clock::now();
+    grid_.rebuild(ring_.state());
+    stats_.grid_ms = ms_since(t0);
+    ++intervals_;
+    return std::nullopt;
+  }
+
+  // Roll the ring (validates shape; strong guarantee), then swap the A_k
+  // mask from the previous interval's ids to the new ones — O(|A_{k-1}| +
+  // |A_k|), never O(n).
+  auto t0 = Clock::now();
+  const DeviceSet previous_abnormal = ring_.state().abnormal();
+  const std::vector<DeviceId>& moved =
+      ring_.advance(std::move(positions), std::move(abnormal));
+  const StatePair& state = ring_.state();
+  for (const DeviceId j : previous_abnormal) abnormal_flag_[j] = 0;
+  for (const DeviceId j : state.abnormal()) abnormal_flag_[j] = 1;
+  stats_.state_ms = ms_since(t0);
+  stats_.moved = moved.size();
+  stats_.abnormal = state.abnormal().size();
+
+  t0 = Clock::now();
+  grid_.apply(state, moved);
+  stats_.grid_ms = ms_since(t0);
+
+  // Plane over the 4r-closure of A_k: neighbourhoods come from the fleet
+  // grid masked to A_k, components fan out over the engine pool.
+  t0 = Clock::now();
+  plane_.reset();
+  plane_.emplace(state, config_.model, source_, &pool_, config_.component_fanout);
+  stats_.plane_ms = ms_since(t0);
+  stats_.components = plane_->counters().enumeration_calls;
+  stats_.motions = plane_->motion_count();
+
+  t0 = Clock::now();
+  Result result;
+  Characterizer characterizer(*plane_, config_.characterize);
+  result.decisions =
+      characterizer.decide_all_on(pool_, config_.characterize.parallel_grain);
+  std::vector<DeviceId> isolated;
+  std::vector<DeviceId> massive;
+  std::vector<DeviceId> unresolved;
+  for (std::size_t i = 0; i < result.decisions.size(); ++i) {
+    const DeviceId j = state.abnormal()[i];
+    switch (result.decisions[i].cls) {
+      case AnomalyClass::kIsolated: isolated.push_back(j); break;
+      case AnomalyClass::kMassive: massive.push_back(j); break;
+      case AnomalyClass::kUnresolved: unresolved.push_back(j); break;
+    }
+  }
+  result.sets.isolated = DeviceSet::from_sorted(std::move(isolated));
+  result.sets.massive = DeviceSet::from_sorted(std::move(massive));
+  result.sets.unresolved = DeviceSet::from_sorted(std::move(unresolved));
+  stats_.characterize_ms = ms_since(t0);
+
+  ++intervals_;
+  return result;
+}
+
+}  // namespace acn

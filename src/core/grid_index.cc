@@ -22,6 +22,55 @@ std::uint64_t mix(std::uint64_t key, std::int64_t cell_coord) noexcept {
   return key;
 }
 
+std::uint64_t key_of(const Point& position, double cell) noexcept {
+  std::uint64_t key = kKeyBasis;
+  for (std::size_t i = 0; i < position.dim(); ++i) {
+    key = mix(key, static_cast<std::int64_t>(std::floor(position[i] / cell)));
+  }
+  return key;
+}
+
+/// Odometer over every cell within `radius` of `centre`, invoking
+/// visit(bucket) once per distinct bucket (two colliding cell keys share a
+/// bucket, which must then be scanned once — the visited guard below).
+/// Shared by GridIndex::within_into and FleetGrid::within_into so the two
+/// indexes agree on scan geometry.
+template <typename Visit>
+void scan_cells(const std::unordered_map<std::uint64_t, std::vector<DeviceId>>& cells,
+                const Point& centre, double cell, double radius, Visit&& visit) {
+  const std::size_t d = centre.dim();
+  const auto reach = static_cast<std::int64_t>(std::ceil(radius / cell));
+
+  std::array<std::int64_t, Point::kMaxDim> base{};
+  for (std::size_t i = 0; i < d; ++i) {
+    base[i] = static_cast<std::int64_t>(std::floor(centre[i] / cell));
+  }
+
+  std::vector<const std::vector<DeviceId>*> visited;
+  visited.reserve(16);
+
+  std::array<std::int64_t, Point::kMaxDim> offset{};
+  offset.fill(0);
+  for (std::size_t i = 0; i < d; ++i) offset[i] = -reach;
+  for (;;) {
+    std::uint64_t key = kKeyBasis;
+    for (std::size_t i = 0; i < d; ++i) key = mix(key, base[i] + offset[i]);
+    if (const auto it = cells.find(key); it != cells.end()) {
+      const std::vector<DeviceId>* bucket = &it->second;
+      if (std::find(visited.begin(), visited.end(), bucket) == visited.end()) {
+        visited.push_back(bucket);
+        visit(*bucket);
+      }
+    }
+    std::size_t i = 0;
+    while (i < d && ++offset[i] > reach) {
+      offset[i] = -reach;
+      ++i;
+    }
+    if (i == d) break;
+  }
+}
+
 }  // namespace
 
 std::vector<std::vector<DeviceId>> connected_components(
@@ -85,48 +134,60 @@ std::vector<DeviceId> GridIndex::within(DeviceId j, double radius) const {
 void GridIndex::within_into(DeviceId j, double radius,
                             std::vector<DeviceId>& out) const {
   out.clear();
-  const Point& centre = state_.curr_pos(j);
-  const std::size_t d = centre.dim();
-  const auto reach = static_cast<std::int64_t>(std::ceil(radius / cell_));
+  scan_cells(cells_, state_.curr_pos(j), cell_, radius,
+             [&](const std::vector<DeviceId>& bucket) {
+               for (const DeviceId candidate : bucket) {
+                 if (state_.joint_distance(j, candidate) <= radius) {
+                   out.push_back(candidate);
+                 }
+               }
+             });
+  std::sort(out.begin(), out.end());
+}
 
-  std::array<std::int64_t, Point::kMaxDim> base{};
-  for (std::size_t i = 0; i < d; ++i) {
-    base[i] = static_cast<std::int64_t>(std::floor(centre[i] / cell_));
+FleetGrid::FleetGrid(double cell) : cell_(cell) {
+  if (cell <= 0.0) throw std::invalid_argument("FleetGrid: cell must be > 0");
+}
+
+void FleetGrid::rebuild(const StatePair& state) {
+  cells_.clear();
+  device_count_ = state.n();
+  cells_.reserve(device_count_ / 4 + 1);
+  for (DeviceId j = 0; j < device_count_; ++j) {
+    cells_[key_of(state.curr_pos(j), cell_)].push_back(j);
   }
+}
 
-  // Grid cells are disjoint, so a device can appear at most once across the
-  // scanned buckets — unless two distinct cells collide on the packed key
-  // and share a bucket, in which case the odometer would scan that bucket
-  // twice. Tracking visited buckets keeps the no-duplicates guarantee exact
-  // without a sort-and-unique pass over the hits.
-  std::vector<const std::vector<DeviceId>*> visited;
-  visited.reserve(16);
-
-  // Odometer over the (2*reach+1)^d neighbouring cells.
-  std::array<std::int64_t, Point::kMaxDim> offset{};
-  offset.fill(0);
-  for (std::size_t i = 0; i < d; ++i) offset[i] = -reach;
-  for (;;) {
-    std::uint64_t key = kKeyBasis;
-    for (std::size_t i = 0; i < d; ++i) key = mix(key, base[i] + offset[i]);
-    if (const auto it = cells_.find(key); it != cells_.end()) {
-      const std::vector<DeviceId>* bucket = &it->second;
-      if (std::find(visited.begin(), visited.end(), bucket) == visited.end()) {
-        visited.push_back(bucket);
-        for (const DeviceId candidate : *bucket) {
-          if (state_.joint_distance(j, candidate) <= radius) {
-            out.push_back(candidate);
-          }
-        }
-      }
+void FleetGrid::apply(const StatePair& state, std::span<const DeviceId> moved) {
+  for (const DeviceId j : moved) {
+    const std::uint64_t old_key = key_of(state.prev_pos(j), cell_);
+    const std::uint64_t new_key = key_of(state.curr_pos(j), cell_);
+    if (old_key == new_key) continue;
+    std::vector<DeviceId>& old_bucket = cells_[old_key];
+    if (const auto it = std::find(old_bucket.begin(), old_bucket.end(), j);
+        it != old_bucket.end()) {
+      old_bucket.erase(it);
     }
-    std::size_t i = 0;
-    while (i < d && ++offset[i] > reach) {
-      offset[i] = -reach;
-      ++i;
-    }
-    if (i == d) break;
+    if (old_bucket.empty()) cells_.erase(old_key);
+    cells_[new_key].push_back(j);
   }
+}
+
+void FleetGrid::within_into(const StatePair& state, DeviceId j, double radius,
+                            std::span<const std::uint8_t> member_flag,
+                            std::vector<DeviceId>& out) const {
+  out.clear();
+  scan_cells(cells_, state.curr_pos(j), cell_, radius,
+             [&](const std::vector<DeviceId>& bucket) {
+               for (const DeviceId candidate : bucket) {
+                 // The cheap membership bit goes first: full-fleet buckets
+                 // are dense, the abnormal subset is sparse.
+                 if (!member_flag.empty() && member_flag[candidate] == 0) continue;
+                 if (state.joint_distance(j, candidate) <= radius) {
+                   out.push_back(candidate);
+                 }
+               }
+             });
   std::sort(out.begin(), out.end());
 }
 

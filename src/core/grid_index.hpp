@@ -64,4 +64,43 @@ class GridIndex {
   std::unordered_map<std::uint64_t, std::vector<DeviceId>> cells_;
 };
 
+/// Incremental uniform grid over the CURRENT positions of the WHOLE fleet,
+/// owned by the streaming engine and carried across intervals: after each
+/// StatePair::advance only the devices whose position changed are
+/// re-bucketed (O(|moved|) per interval), never the n-device rebuild the
+/// per-snapshot GridIndex pays. Queries filter candidates by a caller-owned
+/// membership flag (the abnormal mask) and then by exact joint distance, so
+/// a FleetGrid query restricted to A_k returns bit-for-bit the same sorted
+/// id list as a GridIndex built over A_k — the incremental-vs-scratch
+/// equivalence the engine's tests pin down.
+class FleetGrid {
+ public:
+  /// Requires cell > 0 (use max(2r, kMinGridCell) to match GridIndex).
+  explicit FleetGrid(double cell);
+
+  /// Indexes every device of `state` at its current position.
+  void rebuild(const StatePair& state);
+
+  /// Re-buckets `moved` devices after one StatePair::advance. Contract: the
+  /// ids come from that advance's `moved` output, so each device's previous
+  /// position (its old bucket) is state.prev_pos — apply exactly once per
+  /// roll, before any query against the new interval.
+  void apply(const StatePair& state, std::span<const DeviceId> moved);
+
+  /// Devices with member_flag[id] != 0 within joint Chebyshev distance
+  /// `radius` of j, sorted by id, into a caller-owned buffer (cleared
+  /// first). Pass an empty span to query the whole fleet.
+  void within_into(const StatePair& state, DeviceId j, double radius,
+                   std::span<const std::uint8_t> member_flag,
+                   std::vector<DeviceId>& out) const;
+
+  [[nodiscard]] std::size_t device_count() const noexcept { return device_count_; }
+  [[nodiscard]] double cell() const noexcept { return cell_; }
+
+ private:
+  double cell_;
+  std::size_t device_count_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<DeviceId>> cells_;
+};
+
 }  // namespace acn

@@ -1,6 +1,7 @@
 #include "core/motion_oracle.hpp"
 
 #include <algorithm>
+#include <array>
 #include <functional>
 #include <stdexcept>
 
@@ -40,7 +41,7 @@ std::span<const DeviceId> MotionOracle::neighbourhood(DeviceId j) {
     return it->second;
   }
   ++counters_.neighbourhood_queries;
-  auto neighbours = plane.grid().within(j, params_.window());
+  auto neighbours = plane.within(j, params_.window());
   return extra_neighbourhood_memo_.emplace(j, std::move(neighbours)).first->second;
 }
 
@@ -91,15 +92,39 @@ std::vector<DeviceSet> MotionOracle::maximal_motions_excluding(
 }
 
 bool MotionOracle::has_dense_motion_avoiding(DeviceId j, const DeviceSet& removed) {
+  if (removed.contains(j)) return false;  // no motion containing j survives
   const AvoidKey key{j, removed.hash()};
   if (const auto it = avoid_memo_.find(key); it != avoid_memo_.end()) {
     return it->second;
   }
-  std::vector<DeviceId> pool;
-  for (const DeviceId candidate : neighbourhood(j)) {
-    if (!removed.contains(candidate)) pool.push_back(candidate);
+  // Counting identity over the precomputed family: a dense motion containing
+  // j within A_k \ removed exists iff some maximal dense motion M of j keeps
+  // more than tau members outside `removed` (that remainder contains j and
+  // is a motion as a subset of M; conversely any surviving dense motion
+  // extends to a maximal motion of the full pool, whose remainder is at
+  // least as large). Replaces the anchored window slide the seed ran per
+  // query — the innermost operation of the Theorem-7 search.
+  bool found = false;
+  const MotionPlane& plane = ensure_plane();
+  if (plane.covers(j)) {
+    for (const MotionPlane::MotionId mid : plane.dense(j)) {
+      std::size_t survivors = 0;
+      for (const DeviceId member : plane.members(mid)) {
+        if (!removed.contains(member)) ++survivors;
+      }
+      if (survivors > params_.tau) {
+        found = true;
+        break;
+      }
+    }
+  } else {
+    // Non-abnormal query device: no precomputed family; slide on demand.
+    std::vector<DeviceId> pool;
+    for (const DeviceId candidate : neighbourhood(j)) {
+      if (!removed.contains(candidate)) pool.push_back(candidate);
+    }
+    found = exists_dense_cover(pool, j);
   }
-  const bool found = exists_dense_cover(pool, j);
   avoid_memo_.emplace(key, found);
   return found;
 }
@@ -117,6 +142,14 @@ bool exists_dense_window_cover(const StatePair& state, const Params& params,
   const double window = params.window();
   const Point* anchor_joint = anchor.has_value() ? &state.joint(*anchor) : nullptr;
 
+  // This slide visits dimensions in natural order; the shared tight-cluster
+  // cut takes the remaining suffix of this identity order.
+  static constexpr auto kIdentityDims = [] {
+    std::array<std::size_t, 2 * Point::kMaxDim> dims{};
+    for (std::size_t i = 0; i < dims.size(); ++i) dims[i] = i;
+    return dims;
+  }();
+
   // Same canonical-window slide as `enumerate_maximal_windows`, but returns
   // at the first window whose cover is dense — no maximal-family
   // materialization. Inner loops scan the columnar joint layout.
@@ -124,6 +157,17 @@ bool exists_dense_window_cover(const StatePair& state, const Params& params,
       [&](std::span<const DeviceId> active, std::size_t dim_index) -> bool {
     if (active.size() <= params.tau) return false;  // can only shrink further
     if (dim_index == state.joint_dim()) return true;
+
+    // Tight-cluster cut (spans_fit_window, shared with the motion-plane
+    // slide): if the active set spans at most 2r in every remaining
+    // dimension, one window covers it whole — and it is already dense.
+    if (spans_fit_window(state, window, active,
+                         std::span<const std::size_t>{
+                             kIdentityDims.data() + dim_index,
+                             state.joint_dim() - dim_index})) {
+      if (windows_explored != nullptr) ++*windows_explored;
+      return true;
+    }
 
     const double* col = state.joint_col(dim_index);
     std::vector<double> edges;

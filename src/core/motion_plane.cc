@@ -5,8 +5,23 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/worker_pool.hpp"
+
 namespace acn {
 namespace {
+
+/// NeighbourSource view over an owned A_k GridIndex (the scratch ctor).
+class GridSource final : public NeighbourSource {
+ public:
+  explicit GridSource(const GridIndex& grid) : grid_(grid) {}
+  void within_into(DeviceId j, double radius,
+                   std::vector<DeviceId>& out) const override {
+    grid_.within_into(j, radius, out);
+  }
+
+ private:
+  const GridIndex& grid_;
+};
 
 bool run_is_strict_subset(std::span<const DeviceId> small,
                           std::span<const DeviceId> big) noexcept {
@@ -57,8 +72,8 @@ struct CoverStore {
 
 /// Reusable buffers for the canonical-window slide: one edge list and one
 /// shrinking active set per joint dimension (the recursion touches exactly
-/// one depth per dimension at a time), the flat cover store, and the
-/// maximality-ranking scratch.
+/// one depth per dimension at a time), the flat cover store, the
+/// maximality-ranking scratch, and the dimension visit order.
 struct EnumerationScratch {
   std::vector<std::vector<double>> edges;
   std::vector<std::vector<DeviceId>> next;
@@ -66,6 +81,11 @@ struct EnumerationScratch {
   CoverStore covers;
   std::vector<std::uint32_t> order;
   std::vector<std::uint32_t> maximal;
+  /// Joint dimensions, widest pool span first. The cover set is invariant
+  /// under visit order (the same window combinations are enumerated), but
+  /// splitting on the most spread-out dimension first shrinks active sets
+  /// fastest and lets the tight-cluster cut below fire at shallow depth.
+  std::array<std::size_t, 2 * Point::kMaxDim> dim_order{};
 };
 
 void slide(const StatePair& state, double window, std::span<const DeviceId> active,
@@ -79,13 +99,33 @@ void slide(const StatePair& state, double window, std::span<const DeviceId> acti
     return;
   }
 
-  const double* col = state.joint_col(dim_index);
+  // Tight-cluster cut: when the active set already fits one window in every
+  // remaining dimension, that window's cover is `active` itself and every
+  // other window below this node covers a subset of it (active sets only
+  // shrink), i.e. nothing inclusion-maximal. Emitting the single cover here
+  // collapses the O(|active|^(2d)) edge recursion over a dense blob — the
+  // dominant shape of a massive anomaly — to one bounding-box scan. In the
+  // anchored variant the anchor is a member of every active set, so the
+  // bounding window is a valid anchored window too.
+  const std::span<const std::size_t> remaining_dims{
+      scratch.dim_order.data() + dim_index, state.joint_dim() - dim_index};
+  if (spans_fit_window(state, window, active, remaining_dims)) {
+    if (counters != nullptr) {
+      ++counters->windows_explored;  // the bounding window, evaluated once
+      ++counters->covers_generated;
+    }
+    scratch.covers.add(active);
+    return;
+  }
+
+  const std::size_t dim = scratch.dim_order[dim_index];
+  const double* col = state.joint_col(dim);
   auto& edges = scratch.edges[dim_index];
   edges.clear();
   // Candidate lower edges: coordinates of active points; when anchored, only
   // those within [x(anchor) - 2r, x(anchor)] so the window covers the anchor.
   if (anchor_joint != nullptr) {
-    const double ax = anchor_joint[dim_index];
+    const double ax = anchor_joint[dim];
     const double lo = ax - window;
     for (const DeviceId id : active) {
       const double x = col[id];
@@ -145,6 +185,27 @@ void enumerate_into(const StatePair& state, const Params& params,
   scratch.covers.clear();
   scratch.maximal.clear();
   if (pool.empty()) return;
+
+  // Visit dimensions widest span first (see EnumerationScratch::dim_order).
+  // Ties break toward the lower dimension index, keeping the order — and
+  // the windows_explored trajectory — deterministic.
+  std::array<double, 2 * Point::kMaxDim> span{};
+  for (std::size_t t = 0; t < state.joint_dim(); ++t) {
+    const double* col = state.joint_col(t);
+    double lo = col[pool[0]];
+    double hi = lo;
+    for (const DeviceId id : pool) {
+      const double x = col[id];
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    span[t] = hi - lo;
+    scratch.dim_order[t] = t;
+  }
+  std::stable_sort(scratch.dim_order.begin(),
+                   scratch.dim_order.begin() + state.joint_dim(),
+                   [&](std::size_t a, std::size_t b) { return span[a] > span[b]; });
+
   slide(state, window, pool, 0, anchor_joint, scratch, counters);
 
   // Keep the inclusion-maximal covers. Scanning in size-descending order, a
@@ -184,6 +245,23 @@ void enumerate_into(const StatePair& state, const Params& params,
 
 }  // namespace
 
+bool spans_fit_window(const StatePair& state, double window,
+                      std::span<const DeviceId> active,
+                      std::span<const std::size_t> dims) noexcept {
+  for (const std::size_t t : dims) {
+    const double* col = state.joint_col(t);
+    double lo = col[active[0]];
+    double hi = lo;
+    for (const DeviceId id : active.subspan(1)) {
+      const double x = col[id];
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    if (hi - lo > window) return false;
+  }
+  return true;
+}
+
 std::vector<DeviceSet> enumerate_maximal_windows(const StatePair& state,
                                                  const Params& params,
                                                  std::vector<DeviceId> pool,
@@ -202,11 +280,23 @@ std::vector<DeviceSet> enumerate_maximal_windows(const StatePair& state,
 }
 
 MotionPlane::MotionPlane(const StatePair& state, Params params)
-    : state_(state),
-      params_(params),
-      grid_(state, state.abnormal(), std::max(params.window(), kMinGridCell)) {
+    : state_(state), params_(params) {
   params_.validate();
+  grid_.emplace(state, state.abnormal(), std::max(params_.window(), kMinGridCell));
+  const GridSource source(*grid_);
+  build(source, nullptr, 0);
+}
 
+MotionPlane::MotionPlane(const StatePair& state, Params params,
+                         const NeighbourSource& source, WorkerPool* pool,
+                         std::size_t component_fanout)
+    : state_(state), params_(params), source_(&source) {
+  params_.validate();
+  build(source, pool, component_fanout);
+}
+
+void MotionPlane::build(const NeighbourSource& source, WorkerPool* pool,
+                        std::size_t component_fanout) {
   const DeviceSet& abnormal = state_.abnormal();
   ids_.assign(abnormal.begin(), abnormal.end());
   const std::size_t m = ids_.size();
@@ -217,7 +307,7 @@ MotionPlane::MotionPlane(const StatePair& state, Params params)
   std::vector<DeviceId> nbr_scratch;
   for (const DeviceId j : ids_) {
     ++counters_.neighbourhood_queries;
-    grid_.within_into(j, params_.window(), nbr_scratch);
+    source.within_into(j, params_.window(), nbr_scratch);
     nbr_arena_.insert(nbr_arena_.end(), nbr_scratch.begin(), nbr_scratch.end());
     nbr_offsets_.push_back(static_cast<std::uint32_t>(nbr_arena_.size()));
   }
@@ -236,18 +326,56 @@ MotionPlane::MotionPlane(const StatePair& state, Params params)
         return std::span<const DeviceId>{nbr_arena_.data() + nbr_offsets_[rank],
                                          nbr_offsets_[rank + 1] - nbr_offsets_[rank]};
       });
+  const std::size_t comp_count = components.size();
 
-  motion_offsets_.push_back(0);
-  std::vector<std::vector<MotionId>> family_of(m);
-  std::vector<std::vector<MotionId>> dense_of(m);
-  EnumerationScratch scratch;
-  for (const std::vector<DeviceId>& comp : components) {
-    ++counters_.enumeration_calls;
-    enumerate_into(state_, params_, comp, std::nullopt, &counters_, scratch);
+  // Family enumeration per component. With a worker pool, components are
+  // enumerated concurrently into private buffers (each lane has its own
+  // scratch) and merged below in component-discovery order — the interned
+  // ids, family orders, and counters come out identical to the serial walk
+  // for every pool size.
+  struct ComponentFamily {
+    std::vector<DeviceId> arena;           ///< concatenated maximal runs
+    std::vector<std::uint32_t> offsets{0};  ///< run boundaries
+    OracleCounters counters;
+  };
+  std::vector<ComponentFamily> families(comp_count);
+  const auto enumerate_component = [&](std::size_t ci) {
+    // One scratch per lane, reused across components AND planes (CoverStore
+    // and the edge/next vectors keep their capacity; contents are cleared
+    // by enumerate_into). Lanes are distinct threads, so thread_local is
+    // exactly per-lane; the serial loop is one lane reusing one scratch.
+    thread_local EnumerationScratch scratch;
+    ComponentFamily& family = families[ci];
+    ++family.counters.enumeration_calls;
+    enumerate_into(state_, params_, components[ci], std::nullopt,
+                   &family.counters, scratch);
     // scratch.maximal is lexicographic by members; appending in this order
     // keeps every member's family in the project-wide deterministic order.
     for (const std::uint32_t i : scratch.maximal) {
       const auto run = scratch.covers.run(i);
+      family.arena.insert(family.arena.end(), run.begin(), run.end());
+      family.offsets.push_back(static_cast<std::uint32_t>(family.arena.size()));
+    }
+  };
+  if (pool != nullptr) {
+    pool->for_each(comp_count, component_fanout, enumerate_component);
+  } else {
+    for (std::size_t ci = 0; ci < comp_count; ++ci) enumerate_component(ci);
+  }
+
+  // Deterministic merge: intern runs and assign families component by
+  // component, in discovery order.
+  motion_offsets_.push_back(0);
+  std::vector<std::vector<MotionId>> family_of(m);
+  std::vector<std::vector<MotionId>> dense_of(m);
+  for (const ComponentFamily& family : families) {
+    counters_.windows_explored += family.counters.windows_explored;
+    counters_.covers_generated += family.counters.covers_generated;
+    counters_.enumeration_calls += family.counters.enumeration_calls;
+    for (std::size_t i = 0; i + 1 < family.offsets.size(); ++i) {
+      const std::span<const DeviceId> run{
+          family.arena.data() + family.offsets[i],
+          family.offsets[i + 1] - family.offsets[i]};
       const MotionId mid = intern(run);
       const bool dense = run.size() > params_.tau;
       counters_.motions_shared += run.size() - 1;  // one arena run, |M| families
@@ -272,6 +400,16 @@ MotionPlane::MotionPlane(const StatePair& state, Params params)
     maximal_offsets_.push_back(static_cast<std::uint32_t>(maximal_ids_.size()));
     dense_offsets_.push_back(static_cast<std::uint32_t>(dense_ids_.size()));
   }
+}
+
+std::vector<DeviceId> MotionPlane::within(DeviceId j, double radius) const {
+  std::vector<DeviceId> out;
+  if (grid_.has_value()) {
+    grid_->within_into(j, radius, out);
+  } else {
+    source_->within_into(j, radius, out);
+  }
+  return out;
 }
 
 bool MotionPlane::covers(DeviceId j) const noexcept {

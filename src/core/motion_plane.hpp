@@ -41,6 +41,19 @@
 
 namespace acn {
 
+class WorkerPool;
+
+/// Abnormal-neighbourhood provider for the engine-driven plane build: must
+/// answer exactly what a GridIndex over A_k answers — abnormal devices
+/// within joint distance `radius` of j, sorted, into a cleared buffer. The
+/// streaming engine implements it over its incremental FleetGrid.
+class NeighbourSource {
+ public:
+  virtual ~NeighbourSource() = default;
+  virtual void within_into(DeviceId j, double radius,
+                           std::vector<DeviceId>& out) const = 0;
+};
+
 /// Work counters; the evaluation (Table III) reports operation counts.
 /// Filled by the plane build and advanced further by MotionOracle queries.
 struct OracleCounters {
@@ -61,18 +74,52 @@ struct OracleCounters {
     const StatePair& state, const Params& params, std::vector<DeviceId> pool,
     std::optional<DeviceId> anchor, OracleCounters* counters = nullptr);
 
+/// The tight-cluster cut predicate: true iff `active` spans at most
+/// `window` in every joint dimension listed in `dims` — i.e. one window per
+/// listed dimension covers the whole set, making `active` itself the only
+/// inclusion-maximal cover reachable below the current slide node (any
+/// other window keeps a subset). Anchored-slide precondition: every pool
+/// member lies within `window` (joint Chebyshev) of the anchor — then the
+/// bounding interval of active ∪ {anchor} also has length <= window per
+/// dimension, so an anchored covering window exists. (The anchor itself
+/// need not be a pool member: the oracle queries non-abnormal anchors
+/// against abnormal-only pools.) Both callers establish the precondition
+/// by construction — anchored pools are filtered by joint_distance <=
+/// window. The ONE definition shared by the plane's enumeration slide and
+/// the oracle's early-exit dense-cover slide — the byte-identical
+/// family/query agreement depends on both using it.
+[[nodiscard]] bool spans_fit_window(const StatePair& state, double window,
+                                    std::span<const DeviceId> active,
+                                    std::span<const std::size_t> dims) noexcept;
+
 class MotionPlane {
  public:
   /// Index of an interned motion within the plane's store.
   using MotionId = std::uint32_t;
 
-  /// Builds the whole plane for state.abnormal() eagerly. `state` must
-  /// outlive the plane.
+  /// Builds the whole plane for state.abnormal() eagerly over a private
+  /// GridIndex of A_k. `state` must outlive the plane. This is the
+  /// from-scratch reference path the engine's incremental build is tested
+  /// against.
   MotionPlane(const StatePair& state, Params params);
+
+  /// Engine-driven build: neighbourhoods come from `source` (the engine's
+  /// incrementally maintained FleetGrid restricted to A_k) and the
+  /// per-component family enumeration fans out over `pool` when given
+  /// (components are merged in discovery order, so the result is
+  /// byte-identical for any pool size, and identical to the from-scratch
+  /// ctor). `state` and `source` must outlive the plane.
+  MotionPlane(const StatePair& state, Params params, const NeighbourSource& source,
+              WorkerPool* pool = nullptr, std::size_t component_fanout = 2);
 
   [[nodiscard]] const StatePair& state() const noexcept { return state_; }
   [[nodiscard]] const Params& params() const noexcept { return params_; }
-  [[nodiscard]] const GridIndex& grid() const noexcept { return grid_; }
+
+  /// Abnormal devices within joint distance `radius` of j (j included when
+  /// abnormal), sorted — answered by the owned A_k grid or the external
+  /// source, whichever this plane was built over. Serves the oracle's
+  /// queries for non-abnormal devices.
+  [[nodiscard]] std::vector<DeviceId> within(DeviceId j, double radius) const;
 
   /// |A_k|: number of devices the plane covers.
   [[nodiscard]] std::size_t device_count() const noexcept { return ids_.size(); }
@@ -103,6 +150,9 @@ class MotionPlane {
   [[nodiscard]] const OracleCounters& counters() const noexcept { return counters_; }
 
  private:
+  /// Shared body of both constructors.
+  void build(const NeighbourSource& source, WorkerPool* pool,
+             std::size_t component_fanout);
   /// Rank of j within the sorted A_k ids; throws if not abnormal.
   [[nodiscard]] std::size_t rank_of(DeviceId j) const;
   /// Appends one sorted member run to the arena store (runs are distinct by
@@ -111,7 +161,8 @@ class MotionPlane {
 
   const StatePair& state_;
   Params params_;
-  GridIndex grid_;
+  std::optional<GridIndex> grid_;          ///< owned A_k index (scratch ctor)
+  const NeighbourSource* source_ = nullptr;  ///< engine source (engine ctor)
   std::vector<DeviceId> ids_;  ///< A_k, sorted
 
   // Per-device slices (all offset arrays have device_count() + 1 entries).

@@ -44,4 +44,50 @@ StatePair::StatePair(Snapshot prev, Snapshot curr, DeviceSet abnormal)
   }
 }
 
+void StatePair::advance(Snapshot next, DeviceSet abnormal,
+                        std::vector<DeviceId>* moved) {
+  if (next.size() != n()) {
+    throw std::invalid_argument("StatePair::advance: fleet size changed");
+  }
+  if (next.dim() != dim()) {
+    throw std::invalid_argument("StatePair::advance: dimension changed");
+  }
+  if (!abnormal.empty() && abnormal[abnormal.size() - 1] >= n()) {
+    throw std::invalid_argument(
+        "StatePair::advance: abnormal set references unknown device");
+  }
+  const std::size_t d = dim();
+  const std::size_t count = n();
+  prev_ = std::move(curr_);
+  curr_ = std::move(next);
+  abnormal_ = std::move(abnormal);
+  if (moved != nullptr) moved->clear();
+
+  // joint_[j] = (prev | curr). After the roll the new prev half is the old
+  // curr half, already stored at offsets [d, 2d) — shift it down only where
+  // it differs (the device moved in the PREVIOUS interval); refresh the
+  // curr half only where the new snapshot differs (it moved in THIS one).
+  for (DeviceId j = 0; j < count; ++j) {
+    Point& joint = joint_[j];
+    for (std::size_t t = 0; t < d; ++t) {
+      const double x = joint[d + t];
+      if (joint[t] != x) {
+        joint[t] = x;
+        joint_cols_[t * count + j] = x;
+      }
+    }
+    const Point& current = curr_[j];
+    bool changed = false;
+    for (std::size_t t = 0; t < d; ++t) {
+      const double x = current[t];
+      if (joint[d + t] != x) {
+        joint[d + t] = x;
+        joint_cols_[(d + t) * count + j] = x;
+        changed = true;
+      }
+    }
+    if (changed && moved != nullptr) moved->push_back(j);
+  }
+}
+
 }  // namespace acn

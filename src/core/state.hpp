@@ -40,6 +40,19 @@ class StatePair {
   /// dimension, or if abnormal contains an out-of-range device id.
   StatePair(Snapshot prev, Snapshot curr, DeviceSet abnormal);
 
+  /// In-place interval roll for the streaming engine: S_{k-1} takes the old
+  /// S_k (moved, not copied), S_k takes `next` (moved in), A_k becomes
+  /// `abnormal`. The joint coordinates and the SoA columns are rewritten
+  /// only where a trajectory actually changed — the new prev half equals
+  /// the old curr half by construction, so a device untouched by both
+  /// intervals costs one comparison per dimension and zero writes. Appends
+  /// to *moved (cleared first, ascending) every device whose CURRENT
+  /// position changed in this roll — exactly the devices whose grid cell
+  /// may change. Throws std::invalid_argument (state unchanged) if `next`
+  /// disagrees in size or dimension or `abnormal` is out of range.
+  void advance(Snapshot next, DeviceSet abnormal,
+               std::vector<DeviceId>* moved = nullptr);
+
   [[nodiscard]] std::size_t n() const noexcept { return prev_.size(); }
   [[nodiscard]] std::size_t dim() const noexcept { return prev_.dim(); }
   /// Dimension of the joint space E x E.

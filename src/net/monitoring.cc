@@ -6,7 +6,10 @@ namespace acn {
 
 MonitoringSwarm::MonitoringSwarm(const Topology& topology, SwarmConfig config,
                                  const Detector& prototype)
-    : topology_(topology), config_(config) {
+    : topology_(topology),
+      config_(config),
+      engine_(FrameEngine::Config{.model = config.model,
+                                  .characterize = config.characterize}) {
   config_.validate();
   banks_.reserve(topology.gateway_count());
   for (std::size_t g = 0; g < topology.gateway_count(); ++g) {
@@ -56,31 +59,20 @@ std::optional<SnapshotOutcome> MonitoringSwarm::tick(QosNetwork& network,
   outcome.abnormal = DeviceSet(std::move(abnormal));
   fired_this_interval_.assign(topology_.gateway_count(), false);
 
-  if (!last_snapshot_.has_value() || outcome.abnormal.empty()) {
-    last_snapshot_ = std::move(current);
-    return outcome;
-  }
+  // The frozen snapshot is moved into the engine's rolling ring; the engine
+  // rolls its state in place and characterizes A_k over the shared plane.
+  const std::optional<FrameEngine::Result> result =
+      engine_.observe(std::move(current), outcome.abnormal);
+  if (!result.has_value() || outcome.abnormal.empty()) return outcome;
 
-  const StatePair state(*last_snapshot_, current, outcome.abnormal);
-  Characterizer characterizer(state, config_.model, config_.characterize);
-  const std::vector<Decision> decisions = characterizer.decide_all();
-  for (std::size_t i = 0; i < decisions.size(); ++i) {
+  for (std::size_t i = 0; i < result->decisions.size(); ++i) {
     const DeviceId g = outcome.abnormal[i];
-    const Decision& decision = decisions[i];
+    const Decision& decision = result->decisions[i];
     outcome.reports.push_back(GatewayReport{g, decision.cls, decision.rule});
-    switch (decision.cls) {
-      case AnomalyClass::kIsolated:
-        outcome.isolated = outcome.isolated.with(g);
-        break;
-      case AnomalyClass::kMassive:
-        outcome.massive = outcome.massive.with(g);
-        break;
-      case AnomalyClass::kUnresolved:
-        outcome.unresolved = outcome.unresolved.with(g);
-        break;
-    }
   }
-  last_snapshot_ = std::move(current);
+  outcome.isolated = result->sets.isolated;
+  outcome.massive = result->sets.massive;
+  outcome.unresolved = result->sets.unresolved;
   return outcome;
 }
 

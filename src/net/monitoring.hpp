@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/characterizer.hpp"
+#include "core/frame.hpp"
 #include "detect/detector.hpp"
 #include "detect/detector_bank.hpp"
 #include "net/qos_network.hpp"
@@ -77,7 +78,9 @@ class MonitoringSwarm {
   SwarmConfig config_;
   std::vector<DetectorBank> banks_;
   std::vector<bool> fired_this_interval_;
-  std::optional<Snapshot> last_snapshot_;
+  /// Rolling snapshot state: frozen snapshots are moved into the engine's
+  /// ring; the swarm retains no fleet-position copy of its own.
+  FrameEngine engine_;
   std::uint64_t tick_ = 0;
 };
 

@@ -1,50 +1,37 @@
 #include "online/monitor.hpp"
 
-#include <stdexcept>
+#include <utility>
 
 namespace acn {
 
 OnlineMonitor::OnlineMonitor(Config config)
-    : config_(config), episodes_(config.episode_quiet_intervals) {
-  config_.model.validate();
+    : config_(config),
+      engine_(FrameEngine::Config{.model = config.model,
+                                  .characterize = config.characterize,
+                                  .threads = config.characterize_threads}),
+      episodes_(config.episode_quiet_intervals) {
   if (config_.adaptive.has_value()) sampler_.emplace(*config_.adaptive);
 }
 
-IntervalReport OnlineMonitor::observe(const Snapshot& positions,
+IntervalReport OnlineMonitor::observe(Snapshot positions,
                                       const DeviceSet& abnormal) {
   IntervalReport report;
   report.interval = interval_;
   report.abnormal = abnormal;
 
-  if (last_.has_value()) {
-    if (last_->size() != positions.size() || last_->dim() != positions.dim()) {
-      throw std::invalid_argument("OnlineMonitor: fleet shape changed mid-stream");
+  // The engine rolls its ring in place (the snapshot is moved, never
+  // copied), re-buckets only the devices that moved, and characterizes A_k
+  // over the shared motion plane — serially or across its worker pool.
+  const std::optional<FrameEngine::Result> result =
+      engine_.observe(std::move(positions), abnormal);
+  if (result.has_value() && !abnormal.empty()) {
+    const DeviceSet& ordered = engine_.state().abnormal();
+    for (std::size_t i = 0; i < result->decisions.size(); ++i) {
+      report.decisions.emplace(ordered[i], result->decisions[i]);
     }
-    if (!abnormal.empty()) {
-      const StatePair state(*last_, positions, abnormal);
-      Characterizer characterizer(state, config_.model, config_.characterize);
-      // One shared motion plane per interval; the batch path reads it either
-      // serially or across the configured worker pool.
-      const std::vector<Decision> decisions =
-          config_.characterize_threads == 1
-              ? characterizer.decide_all()
-              : characterizer.decide_all_parallel(config_.characterize_threads);
-      for (std::size_t i = 0; i < decisions.size(); ++i) {
-        const DeviceId j = abnormal[i];
-        report.decisions.emplace(j, decisions[i]);
-        switch (decisions[i].cls) {
-          case AnomalyClass::kIsolated:
-            report.isolated = report.isolated.with(j);
-            break;
-          case AnomalyClass::kMassive:
-            report.massive = report.massive.with(j);
-            break;
-          case AnomalyClass::kUnresolved:
-            report.unresolved = report.unresolved.with(j);
-            break;
-        }
-      }
-    }
+    report.isolated = result->sets.isolated;
+    report.massive = result->sets.massive;
+    report.unresolved = result->sets.unresolved;
   }
 
   // Episode bookkeeping and the adaptive controller run on every interval,
@@ -58,7 +45,6 @@ IntervalReport OnlineMonitor::observe(const Snapshot& positions,
     (void)sampler_->next_interval(!report.abnormal.empty());
   }
 
-  last_ = positions;
   ++interval_;
   return report;
 }

@@ -4,8 +4,11 @@
 // QoS space plus the abnormal set A_k); the monitor characterizes every
 // abnormal device against the previous snapshot, maintains episodes across
 // intervals, and drives the adaptive snapshot scheduler. This is the object
-// a deployment embeds; everything below it (oracle, characterizer,
-// partitions) is mechanism.
+// a deployment embeds; everything below it (the FrameEngine's rolling
+// state, incremental fleet grid, motion plane, characterizer) is mechanism.
+//
+// Snapshots are MOVED into the engine's ring — the monitor retains no
+// per-interval copy of the fleet positions of its own.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +17,7 @@
 #include <vector>
 
 #include "core/characterizer.hpp"
+#include "core/frame.hpp"
 #include "online/adaptive.hpp"
 #include "online/episode.hpp"
 
@@ -40,9 +44,9 @@ class OnlineMonitor {
   struct Config {
     Params model;
     CharacterizeOptions characterize;
-    /// Worker threads for the per-interval characterization fan-out over the
-    /// shared MotionPlane: 1 = serial (default), 0 = hardware concurrency.
-    /// Verdicts are identical either way.
+    /// Worker lanes for the per-interval plane build and characterization
+    /// fan-outs (FrameEngine::Config::threads): 1 = serial (default), 0 =
+    /// hardware concurrency. Verdicts are identical either way.
     unsigned characterize_threads = 1;
     std::uint64_t episode_quiet_intervals = 1;
     std::optional<AdaptiveSampler::Config> adaptive;  ///< nullopt = fixed rate
@@ -50,10 +54,11 @@ class OnlineMonitor {
 
   explicit OnlineMonitor(Config config);
 
-  /// Feeds the snapshot of interval k; returns verdicts (empty report for
-  /// the very first snapshot — no motion to characterize yet).
+  /// Feeds the snapshot of interval k (moved into the engine's ring);
+  /// returns verdicts (empty report for the very first snapshot — no
+  /// motion to characterize yet).
   /// Throws std::invalid_argument if the fleet size or dimension changes.
-  IntervalReport observe(const Snapshot& positions, const DeviceSet& abnormal);
+  IntervalReport observe(Snapshot positions, const DeviceSet& abnormal);
 
   /// Next sampling interval suggested by the §VII-C controller (the
   /// configured fixed interval when adaptivity is off).
@@ -67,9 +72,14 @@ class OnlineMonitor {
 
   [[nodiscard]] std::uint64_t intervals_seen() const noexcept { return interval_; }
 
+  /// Phase timings of the last interval (the engine's breakdown).
+  [[nodiscard]] const FrameStats& last_stats() const noexcept {
+    return engine_.last_stats();
+  }
+
  private:
   Config config_;
-  std::optional<Snapshot> last_;
+  FrameEngine engine_;
   std::optional<AdaptiveSampler> sampler_;
   EpisodeTracker episodes_;
   std::uint64_t interval_ = 0;

@@ -5,16 +5,14 @@
 
 namespace acn {
 
-NeighbourDirectory::NeighbourDirectory(const StatePair& state) : state_(state) {}
+NeighbourDirectory::NeighbourDirectory(const StatePair& state, double cell)
+    : state_(state),
+      grid_(state, state.abnormal(), std::max(cell, kMinGridCell)) {}
 
 std::vector<DeviceId> NeighbourDirectory::lookup(DeviceId centre,
                                                  double radius) const {
   ++lookups_;
-  std::vector<DeviceId> out;
-  for (const DeviceId other : state_.abnormal()) {
-    if (state_.joint_distance(centre, other) <= radius) out.push_back(other);
-  }
-  return out;
+  return grid_.within(centre, radius);
 }
 
 ProtocolDriver::ProtocolDriver(const StatePair& state, Config config,
@@ -22,7 +20,7 @@ ProtocolDriver::ProtocolDriver(const StatePair& state, Config config,
     : state_(state),
       config_(config),
       network_(state.n(), config.network, seed),
-      directory_(state) {
+      directory_(state, config.model.window()) {
   config_.model.validate();
 }
 

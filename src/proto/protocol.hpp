@@ -24,15 +24,23 @@
 #include <vector>
 
 #include "core/characterizer.hpp"
+#include "core/grid_index.hpp"
 #include "proto/network.hpp"
 
 namespace acn {
 
 /// Announced-position directory (in deployment: a DHT keyed by QoS cells;
-/// here: an oracle with the same interface). Lookups are counted.
+/// here: an oracle with the same interface). Lookups are counted. Backed by
+/// a 2r grid over A_k — the DHT's cell keying, literally — so each lookup
+/// costs the local bucket population, not a scan of every registration.
 class NeighbourDirectory {
  public:
-  explicit NeighbourDirectory(const StatePair& state);
+  /// `cell` is the grid bucket side (the driver passes its model's 2r).
+  /// Registrations are bucketed at construction: the directory answers for
+  /// the interval `state` holds NOW. If the caller rolls the state in
+  /// place (StatePair::advance), build a fresh directory — exactly what a
+  /// real DHT does when devices re-announce at the snapshot boundary.
+  explicit NeighbourDirectory(const StatePair& state, double cell);
 
   /// Ids of *abnormal* devices within joint distance `radius` of `centre`
   /// (the directory only tracks devices whose detector fired).
@@ -42,6 +50,7 @@ class NeighbourDirectory {
 
  private:
   const StatePair& state_;
+  GridIndex grid_;  ///< abnormal registrations, bucketed by QoS cell
   mutable std::uint64_t lookups_ = 0;
 };
 

@@ -1,20 +1,16 @@
 #include "sim/metrics.hpp"
 
+#include <stdexcept>
+
 namespace acn {
 
-StepMetrics evaluate_step(const ScenarioStep& step, Params model,
-                          const CharacterizeOptions& options, unsigned threads) {
+StepMetrics tally_step(const std::vector<Decision>& decisions,
+                       const DeviceSet& abnormal, const StepTruth& truth) {
   StepMetrics metrics;
-  metrics.abnormal = step.state.abnormal().size();
-  metrics.truly_isolated = step.truth.truly_isolated.size();
-  if (metrics.abnormal == 0) return metrics;
-
-  Characterizer characterizer(step.state, model, options);
-  const std::vector<Decision> decisions =
-      threads == 1 ? characterizer.decide_all()
-                   : characterizer.decide_all_parallel(threads);
+  metrics.abnormal = abnormal.size();
+  metrics.truly_isolated = truth.truly_isolated.size();
   for (std::size_t i = 0; i < decisions.size(); ++i) {
-    const DeviceId j = step.state.abnormal()[i];
+    const DeviceId j = abnormal[i];
     const Decision& decision = decisions[i];
     switch (decision.rule) {
       case DecisionRule::kTheorem5:
@@ -46,11 +42,45 @@ StepMetrics evaluate_step(const ScenarioStep& step, Params model,
         break;
     }
     if (decision.cls == AnomalyClass::kMassive &&
-        step.truth.truly_isolated.contains(j)) {
+        truth.truly_isolated.contains(j)) {
       ++metrics.missed_detection;
     }
   }
   return metrics;
+}
+
+StepMetrics evaluate_step(const ScenarioStep& step, Params model,
+                          const CharacterizeOptions& options, unsigned threads) {
+  if (step.state.abnormal().empty()) {
+    return tally_step({}, step.state.abnormal(), step.truth);
+  }
+  Characterizer characterizer(step.state, model, options);
+  const std::vector<Decision> decisions =
+      threads == 1 ? characterizer.decide_all()
+                   : characterizer.decide_all_parallel(threads);
+  return tally_step(decisions, step.state.abnormal(), step.truth);
+}
+
+StepMetrics evaluate_step(FrameEngine& engine, const ScenarioStep& step) {
+  // The generator's stream is contiguous (step k's previous snapshot is
+  // step k-1's current one), so the engine's rolling state stays aligned
+  // with the scenario; the first step primes the ring. A misaligned feed
+  // (engine reused across generators, skipped steps) would silently score
+  // decisions against the wrong truth, so the contract is enforced — this
+  // path already pays an O(n) snapshot copy per step, the comparison is
+  // noise against it.
+  if (!engine.primed()) {
+    (void)engine.observe(step.state.prev(), DeviceSet{});
+  } else if (engine.state().curr().positions() != step.state.prev().positions()) {
+    throw std::invalid_argument(
+        "evaluate_step: engine state is not aligned with the step's previous "
+        "snapshot (one engine per contiguous scenario stream)");
+  }
+  const std::optional<FrameEngine::Result> result =
+      engine.observe(step.state.curr(), step.state.abnormal());
+  return tally_step(result.has_value() ? result->decisions
+                                       : std::vector<Decision>{},
+                    step.state.abnormal(), step.truth);
 }
 
 void RunMetrics::add(const StepMetrics& m) {

@@ -8,6 +8,7 @@
 
 #include "common/stats.hpp"
 #include "core/characterizer.hpp"
+#include "core/frame.hpp"
 #include "sim/scenario.hpp"
 
 namespace acn {
@@ -45,13 +46,26 @@ struct StepMetrics {
   }
 };
 
-/// Characterizes all abnormal devices of `step` (under model parameters
-/// `model`, normally ScenarioParams::model) and tallies the metrics.
-/// `threads` selects the characterization fan-out (1 = serial, 0 = hardware
-/// concurrency); the tallied decisions are identical for any value.
+/// Tallies one interval's decisions (A_k ascending order) against the
+/// ground truth — the shared bookkeeping of both evaluation paths below.
+[[nodiscard]] StepMetrics tally_step(const std::vector<Decision>& decisions,
+                                     const DeviceSet& abnormal,
+                                     const StepTruth& truth);
+
+/// Characterizes all abnormal devices of `step` from scratch (under model
+/// parameters `model`, normally ScenarioParams::model) and tallies the
+/// metrics. `threads` selects the characterization fan-out (1 = serial, 0 =
+/// hardware concurrency); the tallied decisions are identical for any value.
 [[nodiscard]] StepMetrics evaluate_step(const ScenarioStep& step, Params model,
                                         const CharacterizeOptions& options = {},
                                         unsigned threads = 1);
+
+/// Streams `step` through the incremental engine (priming it with the
+/// step's previous snapshot on first use) and tallies the same metrics.
+/// Decisions are byte-identical to evaluate_step; per-interval cost is the
+/// engine's locality-bounded update instead of a from-scratch rebuild.
+[[nodiscard]] StepMetrics evaluate_step(FrameEngine& engine,
+                                        const ScenarioStep& step);
 
 /// Aggregates step metrics across a run (means weighted per step).
 struct RunMetrics {

@@ -1,0 +1,170 @@
+// The incremental engine's contract: a FrameEngine fed one snapshot per
+// interval — rolling StatePair, incrementally re-bucketed FleetGrid,
+// 4r-closure plane, pooled fan-outs — produces verdicts byte-identical to a
+// from-scratch rebuild (fresh StatePair + GridIndex + MotionPlane +
+// Characterizer) of every interval. Swept over randomized multi-interval
+// scenarios, a device-teleport stream, and an all-abnormal stream.
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/characterizer.hpp"
+#include "core/frame.hpp"
+#include "sim/scenario.hpp"
+
+namespace acn {
+namespace {
+
+void expect_identical_decisions(const std::vector<Decision>& incremental,
+                                const std::vector<Decision>& scratch,
+                                const DeviceSet& abnormal, std::uint64_t interval) {
+  ASSERT_EQ(incremental.size(), scratch.size()) << "interval " << interval;
+  for (std::size_t i = 0; i < incremental.size(); ++i) {
+    const Decision& a = incremental[i];
+    const Decision& b = scratch[i];
+    const DeviceId j = abnormal[i];
+    EXPECT_EQ(a.cls, b.cls) << "interval " << interval << " device " << j;
+    EXPECT_EQ(a.rule, b.rule) << "interval " << interval << " device " << j;
+    EXPECT_EQ(a.exact, b.exact) << "interval " << interval << " device " << j;
+    EXPECT_EQ(a.maximal_motion_count, b.maximal_motion_count)
+        << "interval " << interval << " device " << j;
+    EXPECT_EQ(a.dense_motion_count, b.dense_motion_count)
+        << "interval " << interval << " device " << j;
+    EXPECT_EQ(a.collections_tested, b.collections_tested)
+        << "interval " << interval << " device " << j;
+  }
+}
+
+/// Feeds `snapshots[k]` with abnormal sets `abnormal[k]` (k >= 1; snapshot 0
+/// primes) through engines at several pool sizes and checks each interval
+/// against the from-scratch rebuild.
+void sweep_stream(const std::vector<Snapshot>& snapshots,
+                  const std::vector<DeviceSet>& abnormal, Params model) {
+  for (const unsigned threads : {1u, 4u}) {
+    FrameEngine engine(
+        FrameEngine::Config{.model = model,
+                            .characterize = {.parallel_grain = 1},
+                            .threads = threads,
+                            .component_fanout = 1});
+    (void)engine.observe(snapshots[0], DeviceSet{});
+    for (std::size_t k = 1; k < snapshots.size(); ++k) {
+      const std::optional<FrameEngine::Result> result =
+          engine.observe(snapshots[k], abnormal[k]);
+      ASSERT_TRUE(result.has_value());
+
+      const StatePair scratch_state(snapshots[k - 1], snapshots[k], abnormal[k]);
+      Characterizer scratch(scratch_state, model);
+      const std::vector<Decision> expected = scratch.decide_all();
+      expect_identical_decisions(result->decisions, expected, abnormal[k], k);
+
+      // The bucketed sets follow the decisions deterministically.
+      const CharacterizationSets sets = [&] {
+        Characterizer again(scratch_state, model);
+        return again.characterize_all();
+      }();
+      EXPECT_EQ(result->sets.isolated, sets.isolated) << "interval " << k;
+      EXPECT_EQ(result->sets.massive, sets.massive) << "interval " << k;
+      EXPECT_EQ(result->sets.unresolved, sets.unresolved) << "interval " << k;
+    }
+  }
+}
+
+TEST(FrameEquivalence, RandomizedScenarioSweep) {
+  for (const std::uint64_t seed : {3ull, 17ull, 91ull}) {
+    for (const bool r3 : {true, false}) {
+      ScenarioParams params;
+      params.n = 400;
+      params.errors_per_step = 24;
+      params.seed = seed;
+      params.enforce_r3 = r3;
+
+      ScenarioGenerator generator(params);
+      std::vector<Snapshot> snapshots;
+      std::vector<DeviceSet> abnormal;
+      snapshots.emplace_back(generator.positions());
+      abnormal.emplace_back();
+      for (int k = 0; k < 6; ++k) {
+        const ScenarioStep step = generator.advance();
+        snapshots.push_back(step.state.curr());
+        abnormal.push_back(step.truth.abnormal);
+      }
+      sweep_stream(snapshots, abnormal, params.model);
+    }
+  }
+}
+
+TEST(FrameEquivalence, DeviceTeleportAcrossTheSpace) {
+  // Device 0 teleports corner to corner every interval (the largest
+  // possible grid re-bucket) while a small cluster drifts coherently; every
+  // affected device is abnormal each round.
+  const Params model{.r = 0.05, .tau = 2};
+  std::vector<Snapshot> snapshots;
+  std::vector<DeviceSet> abnormal;
+  const auto build = [](double teleport_x, double drift) {
+    std::vector<Point> positions;
+    positions.push_back(Point{teleport_x, teleport_x});
+    for (int c = 0; c < 4; ++c) {
+      positions.push_back(
+          Point{0.40 + 0.01 * static_cast<double>(c) + drift, 0.50 + drift});
+    }
+    for (int q = 0; q < 3; ++q) {
+      positions.push_back(Point{0.90, 0.05 + 0.3 * static_cast<double>(q)});
+    }
+    return Snapshot(positions);
+  };
+  snapshots.push_back(build(0.02, 0.0));
+  abnormal.emplace_back();
+  const double hops[] = {0.95, 0.03, 0.55, 0.97};
+  for (int k = 0; k < 4; ++k) {
+    snapshots.push_back(build(hops[k], 0.02 * static_cast<double>(k + 1)));
+    abnormal.push_back(DeviceSet({0, 1, 2, 3, 4}));
+  }
+  sweep_stream(snapshots, abnormal, model);
+}
+
+TEST(FrameEquivalence, AllAbnormalEveryInterval) {
+  // Every device abnormal every interval: the plane covers the whole fleet
+  // and the mask filter of the fleet grid passes everything.
+  const Params model{.r = 0.03, .tau = 3};
+  Rng rng(7);
+  const std::size_t n = 60;
+  std::vector<Point> positions;
+  positions.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    positions.push_back(Point{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)});
+  }
+  std::vector<DeviceId> everyone;
+  for (std::size_t j = 0; j < n; ++j) everyone.push_back(static_cast<DeviceId>(j));
+
+  std::vector<Snapshot> snapshots;
+  std::vector<DeviceSet> abnormal;
+  snapshots.emplace_back(positions);
+  abnormal.emplace_back();
+  for (int k = 0; k < 5; ++k) {
+    // A third of the fleet jumps somewhere uniform, the rest stays put.
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rng.uniform(0.0, 1.0) < 0.33) {
+        positions[j] = Point{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+      }
+    }
+    snapshots.emplace_back(positions);
+    abnormal.push_back(DeviceSet::from_sorted(everyone));
+  }
+  sweep_stream(snapshots, abnormal, model);
+}
+
+TEST(FrameEquivalence, RejectsFleetShapeChanges) {
+  FrameEngine engine(FrameEngine::Config{.model = Params{}});
+  (void)engine.observe(Snapshot({Point{0.1, 0.1}, Point{0.2, 0.2}}), DeviceSet{});
+  EXPECT_THROW(
+      (void)engine.observe(Snapshot({Point{0.1, 0.1}}), DeviceSet{}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)engine.observe(Snapshot({Point{0.1}, Point{0.2}}), DeviceSet{}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acn

@@ -47,10 +47,12 @@ void expect_all_paths_agree(const StatePair& state, Params params,
   EXPECT_EQ(bulk.massive, reference.massive) << label;
   EXPECT_EQ(bulk.unresolved, reference.unresolved) << label;
 
-  // Shared plane, private per-worker oracles; 4 workers regardless of core
-  // count so the pool machinery runs even on single-core CI.
+  // Shared plane, 4 pool lanes regardless of core count, and a parallel
+  // grain of 1 so the worker-pool fan-out genuinely runs even though these
+  // fleets sit far below the production fall-back-to-serial threshold.
+  const CharacterizeOptions pooled_options{.parallel_grain = 1};
   const MotionPlane plane(state, params);
-  Characterizer parallel(plane);
+  Characterizer parallel(plane, pooled_options);
   const CharacterizationSets pooled = parallel.characterize_all_parallel(4);
   EXPECT_EQ(pooled.isolated, reference.isolated) << label;
   EXPECT_EQ(pooled.massive, reference.massive) << label;
@@ -59,7 +61,7 @@ void expect_all_paths_agree(const StatePair& state, Params params,
   // Decisions (not just buckets) must match field for field.
   Characterizer again(plane);
   const std::vector<Decision> serial_decisions = again.decide_all();
-  Characterizer once_more(plane);
+  Characterizer once_more(plane, pooled_options);
   const std::vector<Decision> parallel_decisions = once_more.decide_all_parallel(4);
   ASSERT_EQ(serial_decisions.size(), parallel_decisions.size()) << label;
   for (std::size_t i = 0; i < serial_decisions.size(); ++i) {
