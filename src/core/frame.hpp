@@ -111,7 +111,10 @@ class FrameEngine {
   /// Feeds the snapshot of the next interval (moved in, never copied) and
   /// characterizes every device of `abnormal` against the previous one.
   /// Returns std::nullopt for the first (priming) snapshot. Throws
-  /// std::invalid_argument if the fleet size or dimension changes.
+  /// std::invalid_argument if the fleet size or dimension changes — the
+  /// engine's device universe is fixed (StatePair::advance precondition);
+  /// deployments with churn feed it through FleetRoster, which recycles
+  /// slots inside a fixed capacity instead of resizing the snapshot.
   std::optional<Result> observe(Snapshot positions, DeviceSet abnormal);
 
   /// The rolling state (requires at least one observe()).

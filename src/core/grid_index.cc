@@ -173,6 +173,28 @@ void FleetGrid::apply(const StatePair& state, std::span<const DeviceId> moved) {
   }
 }
 
+void FleetGrid::insert(const StatePair& state, DeviceId j) {
+  cells_[key_of(state.curr_pos(j), cell_)].push_back(j);
+  ++device_count_;
+}
+
+void FleetGrid::remove(const StatePair& state, DeviceId j) {
+  const std::uint64_t key = key_of(state.curr_pos(j), cell_);
+  const auto bucket_it = cells_.find(key);
+  if (bucket_it != cells_.end()) {
+    std::vector<DeviceId>& bucket = bucket_it->second;
+    if (const auto it = std::find(bucket.begin(), bucket.end(), j);
+        it != bucket.end()) {
+      bucket.erase(it);
+      if (bucket.empty()) cells_.erase(bucket_it);
+      --device_count_;
+      return;
+    }
+  }
+  throw std::logic_error(
+      "FleetGrid::remove: device not indexed at its current position");
+}
+
 void FleetGrid::within_into(const StatePair& state, DeviceId j, double radius,
                             std::span<const std::uint8_t> member_flag,
                             std::vector<DeviceId>& out) const {

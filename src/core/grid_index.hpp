@@ -84,8 +84,21 @@ class FleetGrid {
   /// Re-buckets `moved` devices after one StatePair::advance. Contract: the
   /// ids come from that advance's `moved` output, so each device's previous
   /// position (its old bucket) is state.prev_pos — apply exactly once per
-  /// roll, before any query against the new interval.
+  /// roll, before any query against the new interval. Devices removed from
+  /// the grid (churn) must not appear in `moved`; re-insert them instead.
   void apply(const StatePair& state, std::span<const DeviceId> moved);
+
+  /// Churn path: buckets device j at its CURRENT position (a device joining
+  /// the fleet, or re-entering after retirement). j must not already be
+  /// indexed — inserting a present device would double-count it in every
+  /// query crossing its bucket.
+  void insert(const StatePair& state, DeviceId j);
+
+  /// Churn path: unbuckets device j, looked up at its CURRENT position (it
+  /// must not have moved since the last rebuild/apply/insert). Throws
+  /// std::logic_error if j is not found there — a silent no-op would mask a
+  /// stale-position bug upstream.
+  void remove(const StatePair& state, DeviceId j);
 
   /// Devices with member_flag[id] != 0 within joint Chebyshev distance
   /// `radius` of j, sorted by id, into a caller-owned buffer (cleared

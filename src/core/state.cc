@@ -47,7 +47,10 @@ StatePair::StatePair(Snapshot prev, Snapshot curr, DeviceSet abnormal)
 void StatePair::advance(Snapshot next, DeviceSet abnormal,
                         std::vector<DeviceId>* moved) {
   if (next.size() != n()) {
-    throw std::invalid_argument("StatePair::advance: fleet size changed");
+    throw std::invalid_argument(
+        "StatePair::advance: fleet size changed (the device universe is "
+        "fixed per engine; route churn through FleetRoster, which parks "
+        "vacant slots instead of resizing)");
   }
   if (next.dim() != dim()) {
     throw std::invalid_argument("StatePair::advance: dimension changed");

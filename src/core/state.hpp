@@ -50,6 +50,14 @@ class StatePair {
   /// position changed in this roll — exactly the devices whose grid cell
   /// may change. Throws std::invalid_argument (state unchanged) if `next`
   /// disagrees in size or dimension or `abnormal` is out of range.
+  ///
+  /// PRECONDITION (stable device universe): slot j of `next` describes the
+  /// same device as slot j of the current snapshot. The roll has no notion
+  /// of devices joining or leaving — churn is handled one layer up by
+  /// FleetRoster (src/online/roster), which keeps a fixed-capacity dense id
+  /// space, parks vacant slots at their last position, and never flags a
+  /// device abnormal in the interval its slot was (re)assigned, so a slot
+  /// swap can never fabricate a characterizable trajectory.
   void advance(Snapshot next, DeviceSet abnormal,
                std::vector<DeviceId>* moved = nullptr);
 

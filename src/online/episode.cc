@@ -69,6 +69,13 @@ void EpisodeTracker::observe(std::uint64_t interval,
   }
 }
 
+void EpisodeTracker::close(DeviceId device) {
+  const auto it = open_.find(device);
+  if (it == open_.end()) return;
+  closed_.push_back(std::move(it->second.episode));
+  open_.erase(it);
+}
+
 void EpisodeTracker::flush() {
   for (auto& [device, open] : open_) {
     (void)device;

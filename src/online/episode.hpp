@@ -56,6 +56,12 @@ class EpisodeTracker {
   /// Force-closes every open episode (end of run).
   void flush();
 
+  /// Force-closes the open episode of one device, if any (churn: the
+  /// device left the fleet, so its slot may be recycled for an unrelated
+  /// gateway — appending that gateway's verdicts to the departed device's
+  /// episode would conflate two incidents). No-op when no episode is open.
+  void close(DeviceId device);
+
  private:
   struct OpenEpisode {
     Episode episode;

@@ -1,5 +1,6 @@
 #include "online/monitor.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 namespace acn {
@@ -11,6 +12,53 @@ OnlineMonitor::OnlineMonitor(Config config)
                                   .threads = config.characterize_threads}),
       episodes_(config.episode_quiet_intervals) {
   if (config_.adaptive.has_value()) sampler_.emplace(*config_.adaptive);
+  if (config_.roster_capacity > 0) {
+    roster_.emplace(config_.roster_capacity, config_.roster_dim);
+  }
+}
+
+DeviceId OnlineMonitor::admit(GatewayKey key, const Point& position) {
+  if (!roster_.has_value()) {
+    throw std::logic_error("OnlineMonitor::admit: roster mode is off");
+  }
+  return roster_->admit(key, position);
+}
+
+void OnlineMonitor::retire(GatewayKey key) {
+  if (!roster_.has_value()) {
+    throw std::logic_error("OnlineMonitor::retire: roster mode is off");
+  }
+  // Close the slot's episode before the slot can be recycled: a new
+  // occupant must never extend the departed gateway's incident.
+  if (const std::optional<DeviceId> slot = roster_->slot_of(key);
+      slot.has_value()) {
+    episodes_.close(*slot);
+  }
+  roster_->retire(key);
+}
+
+void OnlineMonitor::report(GatewayKey key, const Point& position) {
+  if (!roster_.has_value()) {
+    throw std::logic_error("OnlineMonitor::report: roster mode is off");
+  }
+  roster_->report(key, position);
+}
+
+IntervalReport OnlineMonitor::close_interval(
+    std::span<const GatewayKey> abnormal_keys) {
+  if (!roster_.has_value()) {
+    throw std::logic_error("OnlineMonitor::close_interval: roster mode is off");
+  }
+  const DeviceSet abnormal = roster_->abnormal_slots(abnormal_keys);
+  roster_->end_interval();
+  return observe(roster_->snapshot(), abnormal);
+}
+
+const FleetRoster& OnlineMonitor::roster() const {
+  if (!roster_.has_value()) {
+    throw std::logic_error("OnlineMonitor::roster: roster mode is off");
+  }
+  return *roster_;
 }
 
 IntervalReport OnlineMonitor::observe(Snapshot positions,

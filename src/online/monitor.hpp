@@ -20,6 +20,7 @@
 #include "core/frame.hpp"
 #include "online/adaptive.hpp"
 #include "online/episode.hpp"
+#include "online/roster.hpp"
 
 namespace acn {
 
@@ -50,6 +51,14 @@ class OnlineMonitor {
     unsigned characterize_threads = 1;
     std::uint64_t episode_quiet_intervals = 1;
     std::optional<AdaptiveSampler::Config> adaptive;  ///< nullopt = fixed rate
+    /// Churned-fleet mode: a fixed slot capacity > 0 embeds a FleetRoster
+    /// and enables admit/retire/report/close_interval — gateways may join
+    /// and leave mid-stream while the engine below keeps its fixed device
+    /// universe (vacant slots are parked, never abnormal). 0 = fixed-fleet
+    /// mode: drive observe() with dense snapshots directly.
+    std::size_t roster_capacity = 0;
+    /// Services per device in roster mode (ignored otherwise).
+    std::size_t roster_dim = 2;
   };
 
   explicit OnlineMonitor(Config config);
@@ -59,6 +68,25 @@ class OnlineMonitor {
   /// motion to characterize yet).
   /// Throws std::invalid_argument if the fleet size or dimension changes.
   IntervalReport observe(Snapshot positions, const DeviceSet& abnormal);
+
+  // --- churned-fleet front door (roster mode; throws std::logic_error
+  //     when roster_capacity == 0) ---
+
+  /// Admits a gateway mid-stream; it becomes eligible as abnormal from the
+  /// NEXT interval (no trajectory exists in its join interval).
+  DeviceId admit(GatewayKey key, const Point& position);
+  /// Retires a gateway mid-stream; its slot is parked and its open episode
+  /// (if any) force-closed so a recycled slot cannot inherit it.
+  void retire(GatewayKey key);
+  /// Updates an active gateway's reported QoS position for this interval.
+  void report(GatewayKey key, const Point& position);
+  /// Closes the interval: materializes the roster snapshot, maps the
+  /// abnormal gateway keys to slots (dropping retired and just-admitted
+  /// gateways), and feeds the engine — the churn-tolerant observe().
+  IntervalReport close_interval(std::span<const GatewayKey> abnormal_keys);
+
+  /// The embedded roster (requires roster mode).
+  [[nodiscard]] const FleetRoster& roster() const;
 
   /// Next sampling interval suggested by the §VII-C controller (the
   /// configured fixed interval when adaptivity is off).
@@ -82,6 +110,7 @@ class OnlineMonitor {
   FrameEngine engine_;
   std::optional<AdaptiveSampler> sampler_;
   EpisodeTracker episodes_;
+  std::optional<FleetRoster> roster_;  ///< engaged iff roster_capacity > 0
   std::uint64_t interval_ = 0;
 };
 

@@ -1,0 +1,86 @@
+#include "online/roster.hpp"
+
+#include <stdexcept>
+
+namespace acn {
+
+FleetRoster::FleetRoster(std::size_t capacity, std::size_t dim) : dim_(dim) {
+  if (capacity == 0) {
+    throw std::invalid_argument("FleetRoster: capacity must be >= 1");
+  }
+  if (dim == 0 || dim > Point::kMaxDim / 2) {
+    throw std::invalid_argument("FleetRoster: dimension out of range");
+  }
+  positions_.assign(capacity, Point::zero(dim));
+  just_assigned_.assign(capacity, 0);
+  key_of_.assign(capacity, 0);
+  occupied_.assign(capacity, 0);
+  for (DeviceId slot = 0; slot < capacity; ++slot) free_.push_back(slot);
+}
+
+DeviceId FleetRoster::admit(GatewayKey key, const Point& position) {
+  if (slot_of_.contains(key)) {
+    throw std::invalid_argument("FleetRoster::admit: key already active");
+  }
+  if (position.dim() != dim_ || !position.in_unit_box()) {
+    throw std::invalid_argument("FleetRoster::admit: bad position");
+  }
+  if (free_.empty()) {
+    throw std::invalid_argument("FleetRoster::admit: no free slot (capacity " +
+                                std::to_string(positions_.size()) + ")");
+  }
+  const DeviceId slot = free_.front();
+  free_.pop_front();
+  positions_[slot] = position;
+  just_assigned_[slot] = 1;
+  key_of_[slot] = key;
+  occupied_[slot] = 1;
+  slot_of_.emplace(key, slot);
+  return slot;
+}
+
+void FleetRoster::retire(GatewayKey key) {
+  const auto it = slot_of_.find(key);
+  if (it == slot_of_.end()) {
+    throw std::invalid_argument("FleetRoster::retire: key not active");
+  }
+  const DeviceId slot = it->second;
+  slot_of_.erase(it);
+  occupied_[slot] = 0;
+  free_.push_back(slot);  // position stays parked where it last reported
+}
+
+void FleetRoster::report(GatewayKey key, const Point& position) {
+  const auto it = slot_of_.find(key);
+  if (it == slot_of_.end()) {
+    throw std::invalid_argument("FleetRoster::report: key not active");
+  }
+  if (position.dim() != dim_ || !position.in_unit_box()) {
+    throw std::invalid_argument("FleetRoster::report: bad position");
+  }
+  positions_[it->second] = position;
+}
+
+std::optional<DeviceId> FleetRoster::slot_of(GatewayKey key) const noexcept {
+  const auto it = slot_of_.find(key);
+  if (it == slot_of_.end()) return std::nullopt;
+  return it->second;
+}
+
+DeviceSet FleetRoster::abnormal_slots(std::span<const GatewayKey> keys) const {
+  std::vector<DeviceId> slots;
+  slots.reserve(keys.size());
+  for (const GatewayKey key : keys) {
+    const auto it = slot_of_.find(key);
+    if (it == slot_of_.end()) continue;            // retired or unknown
+    if (just_assigned_[it->second] != 0) continue; // no trajectory yet
+    slots.push_back(it->second);
+  }
+  return DeviceSet(std::move(slots));
+}
+
+void FleetRoster::end_interval() {
+  just_assigned_.assign(just_assigned_.size(), 0);
+}
+
+}  // namespace acn

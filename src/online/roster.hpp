@@ -1,0 +1,99 @@
+// FleetRoster: the explicit device add/remove path for churned fleets.
+//
+// The whole pipeline below the monitor — StatePair::advance, FleetGrid,
+// MotionPlane arenas — is built on a FIXED dense id universe: slot j of
+// snapshot k must describe the same device as slot j of snapshot k-1
+// (StatePair::advance precondition). A production fleet is not like that:
+// gateways join and leave mid-stream (size-varying fleets, La Fond et al.,
+// arXiv:1411.3749). The roster reconciles the two worlds:
+//
+//   * sparse, stable GatewayKeys (whatever the deployment uses to name a
+//     gateway) map to dense DeviceId slots within a fixed capacity;
+//   * a retired gateway's slot is parked — frozen at its last reported
+//     position, never abnormal — and recycled FIFO (least-recently-retired
+//     first), so the snapshot never changes size;
+//   * a slot (re)assigned during the current interval is ineligible as
+//     abnormal for that interval: the slot's apparent trajectory (old
+//     occupant's position -> new occupant's position) is a splice of two
+//     devices, not a motion, and must never reach the characterizer. This
+//     is what makes slot recycling *safe*, not merely convenient.
+//
+// Verdict soundness under this parking scheme: motion families are computed
+// over A_k only (neighbourhoods are A_k-masked), so a parked slot — present
+// in the snapshot but never abnormal — cannot join any motion and cannot
+// influence any verdict. The conformance harness exercises exactly this.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/device_set.hpp"
+#include "core/point.hpp"
+#include "core/state.hpp"
+
+namespace acn {
+
+/// Deployment-level stable gateway identifier (opaque to the roster).
+using GatewayKey = std::uint64_t;
+
+class FleetRoster {
+ public:
+  /// Fixed slot capacity and QoS-space dimension. Vacant never-occupied
+  /// slots are parked at the origin of [0,1]^d. Throws on capacity == 0 or
+  /// d out of Point range.
+  FleetRoster(std::size_t capacity, std::size_t dim);
+
+  /// Admits a gateway, assigning it the least-recently-retired free slot at
+  /// `position`. The slot is flagged just-assigned until end_interval(), so
+  /// abnormal_slots() drops it this interval. Throws std::invalid_argument
+  /// if the key is already active, the position is out of range, or no slot
+  /// is free.
+  DeviceId admit(GatewayKey key, const Point& position);
+
+  /// Retires an active gateway; its slot is parked at the last reported
+  /// position and queued for reuse. Throws if the key is not active.
+  void retire(GatewayKey key);
+
+  /// Updates an active gateway's reported position. Throws if the key is
+  /// not active or the position is out of range.
+  void report(GatewayKey key, const Point& position);
+
+  [[nodiscard]] bool active(GatewayKey key) const noexcept {
+    return slot_of_.contains(key);
+  }
+  [[nodiscard]] std::optional<DeviceId> slot_of(GatewayKey key) const noexcept;
+  [[nodiscard]] std::size_t active_count() const noexcept { return slot_of_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return positions_.size(); }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+
+  /// The dense fixed-size snapshot the engine ingests: active slots at
+  /// their reported position, parked slots frozen at their last one.
+  [[nodiscard]] Snapshot snapshot() const { return Snapshot(positions_); }
+
+  /// Maps abnormal gateway keys to slots, dropping keys that are not active
+  /// and slots (re)assigned since the last end_interval() — a device with
+  /// no previous-interval trajectory cannot be characterized. Unknown keys
+  /// are dropped silently: a report from a just-retired gateway racing its
+  /// retirement is normal in a churning fleet, not an error.
+  [[nodiscard]] DeviceSet abnormal_slots(std::span<const GatewayKey> keys) const;
+
+  /// Closes the interval: just-assigned slots become eligible as abnormal
+  /// from the next interval on. Call once per snapshot fed to the engine,
+  /// after abnormal_slots().
+  void end_interval();
+
+ private:
+  std::size_t dim_;
+  std::vector<Point> positions_;            ///< per slot, active or parked
+  std::vector<std::uint8_t> just_assigned_; ///< per slot, reset by end_interval
+  std::unordered_map<GatewayKey, DeviceId> slot_of_;
+  std::vector<GatewayKey> key_of_;          ///< per slot; meaningful iff occupied
+  std::vector<std::uint8_t> occupied_;      ///< per slot
+  std::deque<DeviceId> free_;               ///< FIFO recycle queue
+};
+
+}  // namespace acn

@@ -1,0 +1,459 @@
+#include "sim/hostile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/math.hpp"
+
+namespace acn {
+
+void HostileParams::validate() const {
+  base.validate();
+  if (churn.rate < 0.0 || churn.rate >= 1.0) {
+    throw std::invalid_argument("HostileParams: churn.rate must be in [0, 1)");
+  }
+  if (churn.min_active > base.n) {
+    throw std::invalid_argument("HostileParams: churn.min_active exceeds n");
+  }
+  if (reports.loss < 0.0 || reports.loss > 1.0 || reports.stale < 0.0 ||
+      reports.stale > 1.0) {
+    throw std::invalid_argument("HostileParams: report rates must be in [0, 1]");
+  }
+  if (drift.share < 0.0 || drift.share > 1.0 || drift.step_factor < 0.0) {
+    throw std::invalid_argument("HostileParams: bad drift settings");
+  }
+  if (regional.outage_rate < 0.0 || regional.outage_rate > 1.0 ||
+      regional.flash_rate < 0.0 || regional.flash_rate > 1.0) {
+    throw std::invalid_argument("HostileParams: regional rates must be in [0, 1]");
+  }
+  if ((regional.outage_rate > 0.0 || regional.flash_rate > 0.0) &&
+      (regional.outage_jitter <= 0.0 || regional.flash_jitter <= 0.0)) {
+    throw std::invalid_argument("HostileParams: regional jitters must be > 0");
+  }
+  if (adversary.attack.has_value()) {
+    if (adversary.colluders == 0 || adversary.colluders >= base.n / 2) {
+      throw std::invalid_argument(
+          "HostileParams: colluder block must be in [1, n/2)");
+    }
+    if (adversary.victim_crash_rate < 0.0 || adversary.victim_crash_rate > 1.0) {
+      throw std::invalid_argument(
+          "HostileParams: victim_crash_rate must be in [0, 1]");
+    }
+  }
+}
+
+HostileScenario::HostileScenario(HostileParams params)
+    : params_(std::move(params)),
+      scenario_(params_.base),
+      rng_(params_.seed ^ 0x9E3779B97F4A7C15ULL),
+      active_(params_.base.n, true),
+      active_count_(params_.base.n) {
+  params_.validate();
+  const std::size_t n = params_.base.n;
+  observed_ = scenario_.positions();
+  colluder_mask_.assign(n, false);
+
+  if (params_.adversary.attack.has_value()) {
+    for (std::size_t i = 0; i < params_.adversary.colluders; ++i) {
+      const auto id = static_cast<DeviceId>(n - 1 - i);
+      colluders_.push_back(id);
+      colluder_mask_[id] = true;
+    }
+    std::sort(colluders_.begin(), colluders_.end());
+    if (*params_.adversary.attack != TrajectoryAttack::kScatterChaff) {
+      victim_ = static_cast<DeviceId>(n - params_.adversary.colluders - 1);
+    }
+    shaper_.emplace(TrajectoryShaper::Config{
+        .strategy = *params_.adversary.attack,
+        .colluders = colluders_,
+        .model = params_.base.model,
+        .claim_jitter = params_.adversary.claim_jitter,
+        .chain_spacing = params_.adversary.chain_spacing,
+        .seed = params_.seed ^ 0xA55A55A5A55A55A5ULL});
+  }
+
+  if (params_.regional.outage_rate > 0.0 || params_.regional.flash_rate > 0.0) {
+    TopologyConfig tc = params_.regional.topology;
+    tc.services = params_.base.d;
+    const std::size_t aggregations = tc.regions * tc.aggregations_per_region;
+    tc.gateways_per_aggregation = std::max<std::size_t>(1, n / aggregations);
+    topo_.emplace(tc);
+  }
+
+  if (params_.drift.share > 0.0 && params_.drift.step_factor > 0.0) {
+    drift_velocity_.assign(n, Point());
+    const auto drifter_count = static_cast<std::uint32_t>(
+        params_.drift.share * static_cast<double>(n));
+    const auto drifters = rng_.sample_without_replacement(
+        static_cast<std::uint32_t>(n), drifter_count);
+    const double step = params_.drift.step_factor * params_.base.model.r;
+    std::vector<double> velocity(params_.base.d);
+    for (const auto j : drifters) {
+      if (is_protected(j)) continue;
+      for (auto& v : velocity) v = rng_.uniform(-step, step);
+      drift_velocity_[j] = Point(std::span<const double>(velocity));
+    }
+  }
+}
+
+bool HostileScenario::is_protected(DeviceId j) const noexcept {
+  return colluder_mask_[j] || (victim_.has_value() && j == *victim_);
+}
+
+Point HostileScenario::random_point() {
+  std::vector<double> coords(params_.base.d);
+  for (auto& x : coords) x = rng_.uniform();
+  return Point(std::span<const double>(coords));
+}
+
+Point HostileScenario::jittered(const Point& centre, double amplitude) {
+  Point out = centre;
+  for (std::size_t i = 0; i < out.dim(); ++i) {
+    out[i] = clamp(out[i] + rng_.uniform(-amplitude, amplitude), 0.0, 1.0);
+  }
+  return out;
+}
+
+void HostileScenario::run_churn() {
+  const std::size_t n = params_.base.n;
+  const std::size_t floor =
+      params_.churn.min_active != 0 ? params_.churn.min_active : n / 2;
+
+  const double want = params_.churn.rate * static_cast<double>(n);
+  std::size_t count = static_cast<std::size_t>(want);
+  if (rng_.bernoulli(want - static_cast<double>(count))) ++count;
+  if (count == 0) return;
+
+  // Devices parked in EARLIER intervals (a gateway does not bounce within
+  // one interval), re-admitted after this interval's retirements.
+  std::vector<DeviceId> parked;
+  std::vector<DeviceId> candidates;
+  for (DeviceId j = 0; j < n; ++j) {
+    if (!active_[j]) {
+      parked.push_back(j);
+    } else if (!is_protected(j)) {
+      candidates.push_back(j);
+    }
+  }
+
+  std::size_t retire =
+      std::min(count, active_count_ > floor ? active_count_ - floor : 0);
+  retire = std::min(retire, candidates.size());
+  if (retire > 0) {
+    rng_.shuffle(candidates);
+    for (std::size_t i = 0; i < retire; ++i) {
+      active_[candidates[i]] = false;
+      --active_count_;
+    }
+  }
+
+  const std::size_t admit = std::min(count, parked.size());
+  if (admit > 0) {
+    rng_.shuffle(parked);
+    for (std::size_t i = 0; i < admit; ++i) {
+      active_[parked[i]] = true;
+      ++active_count_;
+      just_admitted_.push_back(parked[i]);
+    }
+  }
+}
+
+std::vector<DeviceId> HostileScenario::draw_regional_members(
+    bool outage, const std::vector<bool>& taken) {
+  const std::vector<DeviceId> raw =
+      outage ? topo_->gateways_under_aggregation(static_cast<std::size_t>(
+                   rng_.uniform_int(topo_->aggregation_count())))
+             : topo_->gateways_under_region(static_cast<std::size_t>(
+                   rng_.uniform_int(topo_->config().regions)));
+  std::vector<DeviceId> members;
+  for (const DeviceId j : raw) {
+    if (j < params_.base.n && active_[j] && !taken[j] && !is_protected(j)) {
+      members.push_back(j);
+    }
+  }
+  return members;
+}
+
+HostileStep HostileScenario::advance() {
+  const std::size_t n = params_.base.n;
+
+  // 1. Churn: park retirees, re-admit from the parked pool.
+  just_admitted_.clear();
+  if (params_.churn.rate > 0.0) run_churn();
+
+  // 2. Regional events of this interval (members drawn now so the base
+  //    workload can be masked away from them; displaced after the advance).
+  std::vector<bool> taken(n, false);
+  std::vector<std::pair<std::vector<DeviceId>, bool>> regionals;
+  if (topo_.has_value()) {
+    if (params_.regional.outage_rate > 0.0 &&
+        rng_.bernoulli(params_.regional.outage_rate)) {
+      std::vector<DeviceId> members = draw_regional_members(true, taken);
+      if (members.size() >= 2) {
+        for (const DeviceId j : members) taken[j] = true;
+        regionals.emplace_back(std::move(members), true);
+      }
+    }
+    if (params_.regional.flash_rate > 0.0 &&
+        rng_.bernoulli(params_.regional.flash_rate)) {
+      std::vector<DeviceId> members = draw_regional_members(false, taken);
+      if (members.size() >= 2) {
+        for (const DeviceId j : members) taken[j] = true;
+        regionals.emplace_back(std::move(members), false);
+      }
+    }
+  }
+
+  // 3. Eligibility mask for the clean workload underneath: parked devices,
+  //    this interval's re-admissions and regional victims, the colluder
+  //    block, and the designated victim are all off-limits. With every
+  //    layer off the mask stays empty and the clean stream is bit-identical.
+  const bool need_mask = active_count_ < n || !just_admitted_.empty() ||
+                         !regionals.empty() || !colluders_.empty() ||
+                         victim_.has_value();
+  if (need_mask) {
+    std::vector<bool> eligible = active_;
+    for (const DeviceId j : just_admitted_) eligible[j] = false;
+    for (const auto& [members, outage] : regionals) {
+      for (const DeviceId j : members) eligible[j] = false;
+    }
+    for (const DeviceId c : colluders_) eligible[c] = false;
+    if (victim_.has_value()) eligible[*victim_] = false;
+    scenario_.set_active(std::move(eligible));
+  } else {
+    scenario_.set_active({});
+  }
+
+  // 4. The clean §VII-A advance over the eligible devices.
+  ScenarioStep step = scenario_.advance();
+  StepTruth truth = std::move(step.truth);
+
+  // 5. Baseline drift: fixed-velocity wander of untouched active devices,
+  //    reflecting off the box walls. Drifters are never abnormal.
+  if (!drift_velocity_.empty()) {
+    for (DeviceId j = 0; j < n; ++j) {
+      Point& velocity = drift_velocity_[j];
+      if (velocity.dim() == 0 || !active_[j] || taken[j]) continue;
+      if (truth.abnormal.contains(j)) continue;  // R1: moved once already
+      Point p = scenario_.positions()[j];
+      for (std::size_t i = 0; i < p.dim(); ++i) {
+        double x = p[i] + velocity[i];
+        if (x < 0.0 || x > 1.0) {
+          velocity[i] = -velocity[i];
+          x = clamp(p[i] + velocity[i], 0.0, 1.0);
+        }
+        p[i] = x;
+      }
+      scenario_.displace(j, p);
+    }
+  }
+
+  // 6. Regional displacement + truth merge: members converge on a common
+  //    degraded (outage) or congestion (flash crowd) point.
+  for (const auto& [members, outage] : regionals) {
+    const Point target = random_point();
+    const double amplitude =
+        (outage ? params_.regional.outage_jitter : params_.regional.flash_jitter) *
+        params_.base.model.r;
+    for (const DeviceId j : members) {
+      scenario_.displace(j, jittered(target, amplitude));
+    }
+    ErrorEvent event;
+    event.devices = DeviceSet(members);
+    event.massive = event.devices.size() > params_.base.model.tau;
+    truth.abnormal = truth.abnormal.set_union(event.devices);
+    if (event.massive) {
+      truth.truly_massive = truth.truly_massive.set_union(event.devices);
+    } else {
+      truth.truly_isolated = truth.truly_isolated.set_union(event.devices);
+    }
+    truth.events.push_back(std::move(event));
+  }
+
+  // 7. The designated victim's genuinely isolated crash (targeted attacks).
+  bool victim_crashed = false;
+  if (victim_.has_value() &&
+      rng_.bernoulli(params_.adversary.victim_crash_rate)) {
+    victim_crashed = true;
+    scenario_.displace(*victim_, random_point());
+    ErrorEvent event;
+    event.devices = DeviceSet::singleton(*victim_);
+    event.massive = false;
+    truth.abnormal = truth.abnormal.with(*victim_);
+    truth.truly_isolated = truth.truly_isolated.with(*victim_);
+    truth.events.push_back(std::move(event));
+  }
+
+  // 8. Re-admission respawn: the slot-splice jump from the parked position
+  //    to a fresh one. Masked out of A_k this interval by construction.
+  for (const DeviceId j : just_admitted_) scenario_.displace(j, random_point());
+
+  // 9. Observed assembly. Honest devices report their true position;
+  //    colluder claims persist until the shaper moves them; lost and stale
+  //    reports replay the previous claim.
+  const std::vector<Point>& real = scenario_.positions();
+  std::vector<Point> observed = observed_;
+  for (DeviceId j = 0; j < n; ++j) {
+    if (!colluder_mask_[j]) observed[j] = real[j];
+  }
+
+  std::vector<DeviceId> flagged;
+  std::vector<DeviceId> suppressed;
+  std::vector<DeviceId> next_late;
+  for (const DeviceId j : pending_late_) {
+    if (active_[j]) flagged.push_back(j);  // the late-delivered a_k flags
+  }
+  bool victim_visible = false;
+  for (const DeviceId j : truth.abnormal) {
+    if (params_.reports.loss > 0.0 && rng_.bernoulli(params_.reports.loss)) {
+      observed[j] = observed_[j];
+      suppressed.push_back(j);
+    } else if (params_.reports.stale > 0.0 &&
+               rng_.bernoulli(params_.reports.stale)) {
+      observed[j] = observed_[j];
+      suppressed.push_back(j);
+      next_late.push_back(j);
+    } else {
+      flagged.push_back(j);
+      if (victim_.has_value() && j == *victim_) victim_visible = true;
+    }
+  }
+
+  // 10. Adversary shaping over the assembled claims (colluders track the
+  //     victim's *observed* position, exactly what a real collusion sees).
+  std::vector<DeviceId> fabricated;
+  if (shaper_.has_value()) {
+    fabricated =
+        shaper_->shape(victim_, victim_crashed && victim_visible, observed);
+    flagged.insert(flagged.end(), fabricated.begin(), fabricated.end());
+  }
+
+  DeviceSet abnormal{std::move(flagged)};
+  observed_ = observed;
+  pending_late_ = std::move(next_late);
+  ++steps_;
+  return HostileStep{Snapshot(std::move(observed)), std::move(abnormal),
+                     std::move(truth), DeviceSet(std::move(fabricated)),
+                     DeviceSet(std::move(suppressed)), active_count_};
+}
+
+std::vector<HostileSpec> standard_hostile_suite(std::size_t n,
+                                                std::uint64_t seed) {
+  const auto make = [&](std::string name, std::string violates,
+                        std::uint64_t salt) {
+    HostileSpec spec;
+    spec.name = std::move(name);
+    spec.violates = std::move(violates);
+    spec.params.base.n = n;
+    spec.params.base.errors_per_step =
+        static_cast<std::uint32_t>(std::max<std::size_t>(4, n / 50));
+    spec.params.base.seed = seed + salt;
+    spec.params.seed = seed * 0x10001ULL + salt;
+    return spec;
+  };
+  const std::size_t tau = ScenarioParams{}.model.tau;
+
+  std::vector<HostileSpec> suite;
+
+  suite.push_back(make(
+      "clean-control",
+      "nothing — the unperturbed workload, pinning the accuracy baseline", 1));
+
+  {
+    HostileSpec s = make(
+        "churn",
+        "fixed device universe (stable S_k membership between snapshots)", 2);
+    s.params.churn.rate = 0.02;
+    suite.push_back(std::move(s));
+  }
+  {
+    HostileSpec s = make(
+        "report-loss",
+        "reliable per-interval reporting (every device's report reaches the "
+        "monitor)",
+        3);
+    s.params.reports.loss = 0.35;
+    suite.push_back(std::move(s));
+  }
+  {
+    HostileSpec s = make(
+        "stale-reports",
+        "snapshot-boundary ordering (reports of interval k arrive at k)", 4);
+    s.params.reports.stale = 0.35;
+    suite.push_back(std::move(s));
+  }
+  {
+    HostileSpec s = make(
+        "baseline-drift",
+        "stationary QoS between errors (only impacted devices move)", 5);
+    s.params.drift.share = 0.35;
+    s.params.drift.step_factor = 0.4;
+    suite.push_back(std::move(s));
+  }
+  {
+    HostileSpec s = make(
+        "regional-outage",
+        "common group displacement R2 (a massive event moves its victims "
+        "together)",
+        6);
+    s.params.regional.outage_rate = 0.6;
+    suite.push_back(std::move(s));
+  }
+  {
+    HostileSpec s = make(
+        "flash-crowd",
+        "error-ball locality (an event's victims start co-located in QoS "
+        "space)",
+        7);
+    s.params.regional.flash_rate = 0.6;
+    suite.push_back(std::move(s));
+  }
+  {
+    HostileSpec s = make(
+        "shadow-crowd",
+        "honest trajectory claims (no collusion fabricating dense motions)", 8);
+    s.params.adversary.attack = TrajectoryAttack::kShadowCrowd;
+    s.params.adversary.colluders = tau + 2;
+    s.params.adversary.victim_crash_rate = 0.6;
+    s.params.adversary.claim_jitter = 0.3;
+    suite.push_back(std::move(s));
+  }
+  {
+    HostileSpec s = make(
+        "superposition-bomb",
+        "bounded motion superposition (Corollary 8's budget is adequate)", 9);
+    s.params.adversary.attack = TrajectoryAttack::kSuperpositionBomb;
+    s.params.adversary.colluders = 3 * tau;
+    s.params.adversary.victim_crash_rate = 0.6;
+    s.params.adversary.claim_jitter = 0.15;
+    s.params.adversary.chain_spacing = 0.75;
+    suite.push_back(std::move(s));
+  }
+  {
+    HostileSpec s = make(
+        "scatter-chaff",
+        "truthful a_k flags (abnormality reports match real QoS deviations)",
+        10);
+    s.params.adversary.attack = TrajectoryAttack::kScatterChaff;
+    s.params.adversary.colluders = std::max<std::size_t>(8, n / 32);
+    suite.push_back(std::move(s));
+  }
+  {
+    HostileSpec s = make(
+        "combined-stress",
+        "all of the above at once: churn + loss + staleness + drift + "
+        "regional outages",
+        11);
+    s.params.churn.rate = 0.01;
+    s.params.reports.loss = 0.15;
+    s.params.reports.stale = 0.1;
+    s.params.drift.share = 0.25;
+    s.params.drift.step_factor = 0.3;
+    s.params.regional.outage_rate = 0.3;
+    suite.push_back(std::move(s));
+  }
+  return suite;
+}
+
+}  // namespace acn

@@ -43,12 +43,38 @@ ScenarioGenerator::ScenarioGenerator(ScenarioParams params)
   }
 }
 
+void ScenarioGenerator::set_active(std::vector<bool> active) {
+  if (!active.empty() && active.size() != params_.n) {
+    throw std::invalid_argument(
+        "ScenarioGenerator::set_active: mask size must be n (or 0 to reset)");
+  }
+  active_ = std::move(active);
+  active_ids_.clear();
+  for (DeviceId j = 0; j < active_.size(); ++j) {
+    if (active_[j]) active_ids_.push_back(j);
+  }
+}
+
+void ScenarioGenerator::displace(DeviceId j, const Point& position) {
+  if (j >= params_.n) {
+    throw std::invalid_argument("ScenarioGenerator::displace: unknown device");
+  }
+  if (position.dim() != params_.d) {
+    throw std::invalid_argument("ScenarioGenerator::displace: dimension mismatch");
+  }
+  if (!position.in_unit_box()) {
+    throw std::invalid_argument(
+        "ScenarioGenerator::displace: position outside [0,1]^d");
+  }
+  positions_[j] = position;
+}
+
 std::vector<DeviceId> ScenarioGenerator::ball_members(
     DeviceId centre, double radius, const std::vector<bool>& used) const {
   std::vector<DeviceId> members;
   const Point& c = positions_[centre];
   for (DeviceId j = 0; j < params_.n; ++j) {
-    if (j == centre || used[j]) continue;
+    if (j == centre || used[j] || !is_active(j)) continue;
     if (chebyshev(positions_[j], c) <= radius) members.push_back(j);
   }
   return members;
@@ -123,23 +149,37 @@ ScenarioStep ScenarioGenerator::advance(std::uint32_t errors) {
   const double origin_reach = params_.concomitance_origin_factor * params_.model.window();
   const double target_reach = params_.concomitance_target_factor * params_.model.window();
 
-  // Picks an unused device near the regime origin (fallback: any device).
+  // Any-active-device fallback draw (uniform over the whole fleet while no
+  // churn mask is installed, keeping the clean stream bit-identical).
+  const auto draw_any_anchor = [&]() -> DeviceId {
+    if (active_.empty()) return static_cast<DeviceId>(rng_.uniform_int(params_.n));
+    return active_ids_[rng_.uniform_int(active_ids_.size())];
+  };
+
+  // Picks an unused active device near the regime origin (fallback: any).
   const auto draw_regime_anchor = [&]() -> DeviceId {
     std::vector<DeviceId> region;
     for (DeviceId j = 0; j < params_.n; ++j) {
-      if (!used[j] && chebyshev(positions_[j], regime_origin) <= origin_reach) {
+      if (!used[j] && is_active(j) &&
+          chebyshev(positions_[j], regime_origin) <= origin_reach) {
         region.push_back(j);
       }
     }
-    if (region.empty()) return static_cast<DeviceId>(rng_.uniform_int(params_.n));
+    if (region.empty()) return draw_any_anchor();
     return region[rng_.uniform_int(region.size())];
   };
 
+  // Anchors are drawn over the whole fleet while no mask is installed (the
+  // historical stream) and over the active ids under churn.
+  const auto eligible =
+      active_.empty() ? params_.n : active_ids_.size();
   const auto anchor_count =
-      static_cast<std::uint32_t>(std::min<std::size_t>(errors, params_.n));
-  const auto anchors =
-      rng_.sample_without_replacement(static_cast<std::uint32_t>(params_.n),
-                                      anchor_count);
+      static_cast<std::uint32_t>(std::min<std::size_t>(errors, eligible));
+  auto anchors = rng_.sample_without_replacement(
+      static_cast<std::uint32_t>(eligible), anchor_count);
+  if (!active_.empty()) {
+    for (auto& anchor : anchors) anchor = active_ids_[anchor];
+  }
 
   // Massive errors are placed first so isolated groups (placed second) can be
   // separation-tested against every other group — that is what R3 demands.
@@ -230,8 +270,7 @@ ScenarioStep ScenarioGenerator::advance(std::uint32_t errors) {
       const auto ball = ball_members(
           anchor, params_.ball_radius_factor * params_.model.r, used);
       if (ball.size() >= params_.model.tau) break;
-      anchor = concomitant ? draw_regime_anchor()
-                           : static_cast<DeviceId>(rng_.uniform_int(params_.n));
+      anchor = concomitant ? draw_regime_anchor() : draw_any_anchor();
     }
     place_group(anchor, false, concomitant);
   }

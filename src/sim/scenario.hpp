@@ -134,6 +134,22 @@ class ScenarioGenerator {
     return positions_;
   }
 
+  /// Hostile-layer hook (sim/hostile): restricts error injection to devices
+  /// flagged active — anchors, ball members, and concomitance-regime draws
+  /// all skip inactive devices, so a churned-out device can never be
+  /// impacted. `active` must have size n (or be empty, resetting to
+  /// everyone-active, the default). The clean §VII-A stream is bit-for-bit
+  /// unchanged while no mask is installed.
+  void set_active(std::vector<bool> active);
+
+  /// Hostile-layer hook (sim/hostile): externally repositions device j —
+  /// baseline drift, churn re-entry, topology-correlated events. The
+  /// displacement becomes part of the NEXT advance()'s interval; the caller
+  /// owns the ground truth of the resulting trajectory. Throws
+  /// std::invalid_argument on a bad id, a dimension mismatch, or a position
+  /// outside [0,1]^d.
+  void displace(DeviceId j, const Point& position);
+
   [[nodiscard]] const ScenarioParams& params() const noexcept { return params_; }
   [[nodiscard]] std::uint64_t step_count() const noexcept { return steps_; }
 
@@ -163,9 +179,16 @@ class ScenarioGenerator {
       const std::vector<Point>& prev,
       const std::vector<Point>& curr) const;
 
+  /// True while no mask is installed or the device is flagged active.
+  [[nodiscard]] bool is_active(DeviceId j) const noexcept {
+    return active_.empty() || active_[j];
+  }
+
   ScenarioParams params_;
   Rng rng_;
   std::vector<Point> positions_;
+  std::vector<bool> active_;          ///< empty = everyone active
+  std::vector<DeviceId> active_ids_;  ///< cached ids of the installed mask
   std::uint64_t steps_ = 0;
 };
 

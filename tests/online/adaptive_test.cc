@@ -46,6 +46,36 @@ TEST(AdaptiveSamplerTest, ResetRestoresInitial) {
   EXPECT_EQ(sampler.current(), 16u);
 }
 
+TEST(AdaptiveSamplerTest, FlappingSignalStaysBoundedAndDeterministic) {
+  AdaptiveSampler sampler(base_config());
+  // A verdict stream flapping anomaly/quiet every interval: the controller
+  // must neither diverge nor collapse, and the trajectory is fully
+  // deterministic (llround half-away-from-zero).
+  EXPECT_EQ(sampler.next_interval(true), 8u);
+  EXPECT_EQ(sampler.next_interval(false), 12u);
+  EXPECT_EQ(sampler.next_interval(true), 6u);
+  EXPECT_EQ(sampler.next_interval(false), 9u);
+  EXPECT_EQ(sampler.next_interval(true), 5u);   // llround(4.5)
+  EXPECT_EQ(sampler.next_interval(false), 8u);  // llround(7.5)
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t next = sampler.next_interval(i % 2 == 0);
+    EXPECT_GE(next, 1u);
+    EXPECT_LE(next, 64u);
+  }
+}
+
+TEST(AdaptiveSamplerTest, GappyBurstsRecoverTheCeiling) {
+  // Anomaly bursts separated by long quiet gaps — the §VII-C shape: pin the
+  // alarm floor during each burst, recover the idle ceiling in the gap.
+  AdaptiveSampler sampler(base_config());
+  for (int burst = 0; burst < 3; ++burst) {
+    for (int i = 0; i < 6; ++i) (void)sampler.next_interval(true);
+    EXPECT_EQ(sampler.current(), 1u);
+    for (int i = 0; i < 15; ++i) (void)sampler.next_interval(false);
+    EXPECT_EQ(sampler.current(), 64u);
+  }
+}
+
 TEST(AdaptiveSamplerTest, Validation) {
   auto config = base_config();
   config.min_interval = 0;

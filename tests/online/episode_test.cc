@@ -89,5 +89,59 @@ TEST(EpisodeTrackerTest, RejectsZeroQuiet) {
   EXPECT_THROW(EpisodeTracker(0), std::invalid_argument);
 }
 
+TEST(EpisodeTrackerTest, CloseForcesOneDeviceOut) {
+  EpisodeTracker tracker(5);
+  tracker.observe(0, {{5, AnomalyClass::kMassive}});
+  tracker.close(9);  // no open episode: no-op
+  EXPECT_EQ(tracker.open_count(), 1u);
+  tracker.close(5);  // churn: device 5's gateway left the fleet
+  EXPECT_EQ(tracker.open_count(), 0u);
+  ASSERT_EQ(tracker.closed().size(), 1u);
+  EXPECT_EQ(tracker.closed()[0].device, 5u);
+  tracker.close(5);  // already closed: no-op
+  EXPECT_EQ(tracker.closed().size(), 1u);
+
+  // The recycled slot opens a FRESH episode — the new gateway's verdicts
+  // must not extend the departed gateway's incident.
+  tracker.observe(1, {{5, AnomalyClass::kIsolated}});
+  tracker.close(5);
+  ASSERT_EQ(tracker.closed().size(), 2u);
+  EXPECT_EQ(tracker.closed()[1].first_interval, 1u);
+  EXPECT_EQ(tracker.closed()[1].verdicts.size(), 1u);
+  EXPECT_EQ(tracker.closed()[1].final_verdict(), AnomalyClass::kIsolated);
+}
+
+TEST(EpisodeTrackerTest, GapBeyondQuietToleranceSplitsEpisodes) {
+  EpisodeTracker tracker(2);
+  tracker.observe(0, {{4, AnomalyClass::kUnresolved}});
+  tracker.observe(1, {});
+  tracker.observe(2, {});  // quiet streak hits 2: episode closes
+  tracker.observe(3, {{4, AnomalyClass::kMassive}});
+  tracker.flush();
+  ASSERT_EQ(tracker.closed().size(), 2u);
+  EXPECT_EQ(tracker.closed()[0].last_interval, 0u);
+  EXPECT_EQ(tracker.closed()[0].verdicts.size(), 1u);
+  EXPECT_EQ(tracker.closed()[1].first_interval, 3u);
+}
+
+TEST(EpisodeTrackerTest, FlappingVerdictStreamAcrossAGap) {
+  EpisodeTracker tracker(2);
+  tracker.observe(0, {{2, AnomalyClass::kMassive}});
+  tracker.observe(1, {});  // gap inside the quiet tolerance: same episode
+  tracker.observe(2, {{2, AnomalyClass::kUnresolved}});
+  tracker.observe(3, {{2, AnomalyClass::kIsolated}});
+  tracker.flush();
+  ASSERT_EQ(tracker.closed().size(), 1u);
+  const Episode& episode = tracker.closed()[0];
+  EXPECT_EQ(episode.verdicts,
+            (std::vector<AnomalyClass>{AnomalyClass::kMassive,
+                                       AnomalyClass::kUnresolved,
+                                       AnomalyClass::kIsolated}));
+  EXPECT_TRUE(episode.flapped());
+  EXPECT_TRUE(episode.sharpened());
+  EXPECT_EQ(episode.final_verdict(), AnomalyClass::kIsolated);
+  EXPECT_EQ(episode.duration(), 4u);  // the quiet gap counts into the span
+}
+
 }  // namespace
 }  // namespace acn

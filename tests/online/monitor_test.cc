@@ -108,5 +108,68 @@ TEST(OnlineMonitorTest, DrivesGeneratedWorkload) {
   EXPECT_GT(monitor.episodes().closed().size(), 0u);
 }
 
+TEST(OnlineMonitorTest, RosterChurnFrontDoor) {
+  auto config = monitor_config();
+  config.roster_capacity = 6;
+  config.roster_dim = 1;
+  OnlineMonitor monitor(config);
+
+  // Interval 0 (prime): five clustered gateways plus one loner join.
+  for (GatewayKey g = 1; g <= 5; ++g) {
+    (void)monitor.admit(g, Point{0.90 + 0.01 * static_cast<double>(g - 1)});
+  }
+  (void)monitor.admit(6, Point{0.50});
+  const IntervalReport r0 = monitor.close_interval({});
+  EXPECT_TRUE(r0.decisions.empty());
+
+  // Interval 1: the cluster crashes together, the loner crashes alone.
+  for (GatewayKey g = 1; g <= 5; ++g) {
+    monitor.report(g, Point{0.30 + 0.01 * static_cast<double>(g - 1)});
+  }
+  monitor.report(6, Point{0.10});
+  const std::vector<GatewayKey> all_abnormal = {1, 2, 3, 4, 5, 6};
+  const IntervalReport r1 = monitor.close_interval(all_abnormal);
+  EXPECT_EQ(r1.massive, DeviceSet({0, 1, 2, 3, 4}));
+  EXPECT_EQ(r1.isolated, DeviceSet({5}));
+
+  // Interval 2: gateway 6 leaves (its open episode force-closes) and
+  // gateway 7 recycles slot 5. The recruit is flagged abnormal but has no
+  // trajectory yet, so the splice never reaches the characterizer.
+  monitor.retire(6);
+  ASSERT_EQ(monitor.episodes().closed().size(), 1u);
+  EXPECT_EQ(monitor.episodes().closed()[0].device, 5u);
+  EXPECT_EQ(monitor.episodes().closed()[0].final_verdict(),
+            AnomalyClass::kIsolated);
+  EXPECT_EQ(monitor.admit(7, Point{0.80}), 5u);
+  const std::vector<GatewayKey> recruit = {7};
+  const IntervalReport r2 = monitor.close_interval(recruit);
+  EXPECT_TRUE(r2.decisions.empty());
+
+  // Interval 3: the recruit now has a trajectory and crashes alone.
+  monitor.report(7, Point{0.20});
+  const IntervalReport r3 = monitor.close_interval(recruit);
+  EXPECT_EQ(r3.isolated, DeviceSet({5}));
+  EXPECT_TRUE(r3.massive.empty());
+
+  // The recycled slot carries TWO independent episodes: the departed
+  // gateway's and the recruit's.
+  monitor.finish();
+  std::size_t slot5_episodes = 0;
+  for (const Episode& episode : monitor.episodes().closed()) {
+    if (episode.device == 5) ++slot5_episodes;
+  }
+  EXPECT_EQ(slot5_episodes, 2u);
+  EXPECT_EQ(monitor.roster().active_count(), 6u);
+}
+
+TEST(OnlineMonitorTest, RosterCallsThrowInFixedFleetMode) {
+  OnlineMonitor monitor(monitor_config());
+  EXPECT_THROW((void)monitor.admit(1, Point{0.1}), std::logic_error);
+  EXPECT_THROW(monitor.retire(1), std::logic_error);
+  EXPECT_THROW(monitor.report(1, Point{0.1}), std::logic_error);
+  EXPECT_THROW((void)monitor.close_interval({}), std::logic_error);
+  EXPECT_THROW((void)monitor.roster(), std::logic_error);
+}
+
 }  // namespace
 }  // namespace acn

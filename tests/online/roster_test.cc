@@ -1,0 +1,90 @@
+// FleetRoster: sparse gateway keys over a fixed dense slot universe —
+// FIFO slot recycling, parked positions, and the just-assigned abnormality
+// guard that keeps slot splices away from the characterizer.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "online/roster.hpp"
+
+namespace acn {
+namespace {
+
+TEST(FleetRoster, AdmitAssignsFifoSlotsAndValidates) {
+  FleetRoster roster(3, 2);
+  EXPECT_EQ(roster.capacity(), 3u);
+  EXPECT_EQ(roster.admit(101, Point{0.1, 0.1}), 0u);
+  EXPECT_EQ(roster.admit(102, Point{0.2, 0.2}), 1u);
+  EXPECT_EQ(roster.admit(103, Point{0.3, 0.3}), 2u);
+  EXPECT_EQ(roster.active_count(), 3u);
+
+  EXPECT_THROW((void)roster.admit(101, Point{0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW((void)roster.admit(104, Point{0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW((void)roster.admit(105, Point{1.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW((void)roster.admit(106, Point{0.5}), std::invalid_argument);
+}
+
+TEST(FleetRoster, RetireParksAndRecyclesLeastRecentlyRetired) {
+  FleetRoster roster(3, 2);
+  (void)roster.admit(101, Point{0.1, 0.1});
+  (void)roster.admit(102, Point{0.2, 0.2});
+  (void)roster.admit(103, Point{0.3, 0.3});
+  roster.end_interval();
+
+  roster.report(102, Point{0.25, 0.25});
+  roster.retire(102);
+  roster.retire(101);
+  EXPECT_THROW(roster.retire(102), std::invalid_argument);
+  EXPECT_THROW(roster.report(102, Point{0.6, 0.6}), std::invalid_argument);
+  EXPECT_EQ(roster.active_count(), 1u);
+
+  // Parked slots stay frozen at the last reported position.
+  const Snapshot parked = roster.snapshot();
+  EXPECT_EQ(parked[1], (Point{0.25, 0.25}));
+  EXPECT_EQ(parked[0], (Point{0.1, 0.1}));
+
+  // FIFO: 102's slot (retired first) is recycled before 101's.
+  EXPECT_EQ(roster.admit(201, Point{0.7, 0.7}), 1u);
+  EXPECT_EQ(roster.admit(202, Point{0.8, 0.8}), 0u);
+}
+
+TEST(FleetRoster, AbnormalSlotsDropsUnknownAndJustAssigned) {
+  FleetRoster roster(4, 2);
+  (void)roster.admit(101, Point{0.1, 0.1});
+  (void)roster.admit(102, Point{0.2, 0.2});
+  roster.end_interval();
+  (void)roster.admit(103, Point{0.3, 0.3});  // just assigned this interval
+
+  const std::vector<GatewayKey> keys = {101, 103, 999};
+  const DeviceSet slots = roster.abnormal_slots(keys);
+  EXPECT_EQ(slots, DeviceSet({0}));  // 103 has no trajectory yet; 999 unknown
+
+  // After the interval closes, 103 becomes eligible.
+  roster.end_interval();
+  EXPECT_EQ(roster.abnormal_slots(keys), DeviceSet({0, 2}));
+}
+
+TEST(FleetRoster, RecycledSlotIsIneligibleInItsSpliceInterval) {
+  FleetRoster roster(1, 2);
+  (void)roster.admit(101, Point{0.1, 0.1});
+  roster.end_interval();
+  roster.retire(101);
+  // New occupant of slot 0: its apparent trajectory this interval is the
+  // splice (101's parked position -> 201's position) and must not reach the
+  // characterizer.
+  const DeviceId slot = roster.admit(201, Point{0.9, 0.9});
+  EXPECT_EQ(slot, 0u);
+  const std::vector<GatewayKey> keys = {201};
+  EXPECT_TRUE(roster.abnormal_slots(keys).empty());
+  roster.end_interval();
+  EXPECT_EQ(roster.abnormal_slots(keys), DeviceSet({0}));
+}
+
+TEST(FleetRoster, ConstructorValidates) {
+  EXPECT_THROW(FleetRoster(0, 2), std::invalid_argument);
+  EXPECT_THROW(FleetRoster(4, 0), std::invalid_argument);
+  EXPECT_THROW(FleetRoster(4, Point::kMaxDim), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acn

@@ -1,0 +1,206 @@
+// HostileScenario: each perturbation layer honours its contract — the
+// all-off configuration reproduces the clean §VII-A stream bit-for-bit,
+// churn respects the active floor, lost reports replay the previous claim
+// and punch recall holes, stale reports deliver their flag one interval
+// late, regional outages converge truly-massive groups onto one point, and
+// the shadow-crowd adversary fabricates an r-consistent dense motion around
+// the victim (defeating Theorem 5 — the paper's §VIII attack).
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/characterizer.hpp"
+#include "sim/hostile.hpp"
+
+namespace acn {
+namespace {
+
+HostileParams small_base(std::uint64_t seed) {
+  HostileParams params;
+  params.base.n = 200;
+  params.base.errors_per_step = 8;
+  params.base.seed = seed;
+  params.seed = seed * 31 + 7;
+  return params;
+}
+
+TEST(HostileScenario, AllLayersOffReproducesCleanStream) {
+  const HostileParams params = small_base(9);
+  HostileScenario hostile(params);
+  ScenarioGenerator clean(params.base);
+  EXPECT_EQ(hostile.initial().positions(), clean.positions());
+  for (int k = 0; k < 5; ++k) {
+    const HostileStep step = hostile.advance();
+    const ScenarioStep reference = clean.advance();
+    EXPECT_EQ(step.observed.positions(), reference.state.curr().positions())
+        << "interval " << k;
+    EXPECT_EQ(step.abnormal, reference.truth.abnormal) << "interval " << k;
+    EXPECT_TRUE(step.fabricated.empty());
+    EXPECT_TRUE(step.suppressed.empty());
+    EXPECT_EQ(step.active, params.base.n);
+  }
+}
+
+TEST(HostileScenario, DeterministicAcrossInstances) {
+  for (const HostileSpec& spec : standard_hostile_suite(200, 11)) {
+    HostileScenario a(spec.params);
+    HostileScenario b(spec.params);
+    ASSERT_EQ(a.initial().positions(), b.initial().positions()) << spec.name;
+    for (int k = 0; k < 2; ++k) {
+      const HostileStep sa = a.advance();
+      const HostileStep sb = b.advance();
+      EXPECT_EQ(sa.observed.positions(), sb.observed.positions())
+          << spec.name << " interval " << k;
+      EXPECT_EQ(sa.abnormal, sb.abnormal) << spec.name << " interval " << k;
+    }
+  }
+}
+
+TEST(HostileScenario, ChurnVariesTheFleetAboveTheFloor) {
+  HostileParams params = small_base(13);
+  params.churn.rate = 0.05;
+  HostileScenario hostile(params);
+  bool shrank = false;
+  for (int k = 0; k < 30; ++k) {
+    const HostileStep step = hostile.advance();
+    EXPECT_GE(step.active, params.base.n / 2);
+    EXPECT_LE(step.active, params.base.n);
+    if (step.active < params.base.n) shrank = true;
+  }
+  EXPECT_TRUE(shrank);
+}
+
+TEST(HostileScenario, LostReportsReplayPreviousClaimAndSuppressFlags) {
+  HostileParams params = small_base(17);
+  params.reports.loss = 0.5;
+  HostileScenario hostile(params);
+  std::vector<Point> previous = hostile.initial().positions();
+  std::size_t suppressed_total = 0;
+  for (int k = 0; k < 10; ++k) {
+    const HostileStep step = hostile.advance();
+    for (const DeviceId j : step.suppressed) {
+      EXPECT_TRUE(step.truth.abnormal.contains(j));
+      EXPECT_FALSE(step.abnormal.contains(j)) << "interval " << k;
+      EXPECT_EQ(step.observed[j], previous[j]) << "interval " << k;
+      ++suppressed_total;
+    }
+    previous = step.observed.positions();
+  }
+  EXPECT_GT(suppressed_total, 0u);
+}
+
+TEST(HostileScenario, StaleReportsDeliverTheFlagOneIntervalLate) {
+  HostileParams params = small_base(19);
+  params.reports.stale = 0.6;
+  HostileScenario hostile(params);
+  DeviceSet pending;
+  std::size_t late_total = 0;
+  for (int k = 0; k < 10; ++k) {
+    const HostileStep step = hostile.advance();
+    for (const DeviceId j : pending) {
+      EXPECT_TRUE(step.abnormal.contains(j))
+          << "interval " << k << " device " << j;
+      ++late_total;
+    }
+    pending = step.suppressed;
+  }
+  EXPECT_GT(late_total, 0u);
+}
+
+TEST(HostileScenario, RegionalOutageConvergesATrulyMassiveGroup) {
+  HostileParams params = small_base(23);
+  params.regional.outage_rate = 1.0;
+  HostileScenario hostile(params);
+  std::size_t converged_events = 0;
+  for (int k = 0; k < 6; ++k) {
+    const HostileStep step = hostile.advance();
+    for (const ErrorEvent& event : step.truth.events) {
+      if (event.devices.size() <= params.base.model.tau) continue;
+      // An outage event: all members within outage_jitter * r of the
+      // degraded point, i.e. pairwise within 2 * jitter * r.
+      double diameter = 0.0;
+      for (std::size_t a = 0; a < event.devices.size(); ++a) {
+        for (std::size_t b = a + 1; b < event.devices.size(); ++b) {
+          diameter = std::max(
+              diameter, chebyshev(step.observed[event.devices[a]],
+                                  step.observed[event.devices[b]]));
+        }
+      }
+      if (diameter <=
+          2.0 * params.regional.outage_jitter * params.base.model.r + 1e-12) {
+        ++converged_events;
+        EXPECT_TRUE(event.devices.is_subset_of(step.truth.truly_massive));
+      }
+    }
+  }
+  EXPECT_GT(converged_events, 0u);
+}
+
+TEST(HostileScenario, ShadowCrowdFabricatesADenseMotionAroundTheVictim) {
+  HostileParams params = small_base(29);
+  params.adversary.attack = TrajectoryAttack::kShadowCrowd;
+  params.adversary.colluders = 5;
+  params.adversary.victim_crash_rate = 1.0;
+  params.adversary.claim_jitter = 0.3;
+  HostileScenario hostile(params);
+  ASSERT_TRUE(hostile.victim().has_value());
+  const DeviceId victim = *hostile.victim();
+  const double jitter =
+      params.adversary.claim_jitter * params.base.model.r + 1e-12;
+
+  std::vector<Point> previous = hostile.initial().positions();
+  for (int k = 0; k < 6; ++k) {
+    const HostileStep step = hostile.advance();
+    EXPECT_TRUE(step.truth.truly_isolated.contains(victim));
+    EXPECT_TRUE(step.abnormal.contains(victim));
+    EXPECT_EQ(step.fabricated, DeviceSet(hostile.colluders()));
+    for (const DeviceId c : hostile.colluders()) {
+      EXPECT_LE(chebyshev(step.observed[c], step.observed[victim]), jitter)
+          << "interval " << k << " colluder " << c;
+    }
+
+    // From the second interval on the colluders' previous claims were
+    // already shadowing the victim, so {victim} + colluders is a tau-dense
+    // r-consistent motion: Theorem 5 cannot classify the victim isolated —
+    // the fabricated crowd flipped a genuinely isolated anomaly.
+    if (k >= 1) {
+      const StatePair state(Snapshot(previous), Snapshot(step.observed.positions()),
+                            step.abnormal);
+      Characterizer characterizer(state, params.base.model);
+      const Decision decision = characterizer.characterize(victim);
+      EXPECT_NE(decision.cls, AnomalyClass::kIsolated) << "interval " << k;
+    }
+    previous = step.observed.positions();
+  }
+}
+
+TEST(HostileSuite, WellFormedAndDistinct) {
+  const std::vector<HostileSpec> suite = standard_hostile_suite(300, 7);
+  EXPECT_GE(suite.size(), 6u);
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_FALSE(suite[i].name.empty());
+    EXPECT_FALSE(suite[i].violates.empty());
+    EXPECT_NO_THROW(suite[i].params.validate()) << suite[i].name;
+    for (std::size_t j = i + 1; j < suite.size(); ++j) {
+      EXPECT_NE(suite[i].name, suite[j].name);
+    }
+  }
+}
+
+TEST(HostileParamsValidation, RejectsBadLayerSettings) {
+  HostileParams params = small_base(1);
+  params.churn.rate = 1.5;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params = small_base(1);
+  params.reports.loss = -0.1;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params = small_base(1);
+  params.adversary.attack = TrajectoryAttack::kShadowCrowd;
+  params.adversary.colluders = 0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params.adversary.colluders = params.base.n;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acn

@@ -3,16 +3,40 @@
 # wall-clock seconds into BENCH_<name>.json, one file per bench, so PRs can
 # commit/compare runs over time.
 #
-# Usage: tools/record_bench.sh [build-dir] [out-dir]
+# Usage: tools/record_bench.sh [build-dir] [out-dir] [bench-name...]
+#
+# With no bench names, records every bench_* binary. Naming one or more
+# benches (with or without the bench_ prefix) records just those in one
+# invocation, e.g.:
+#   tools/record_bench.sh build . hostile adversary
 set -eu
 
 build_dir=${1:-build}
 out_dir=${2:-.}
+if [ $# -ge 1 ]; then shift; fi
+if [ $# -ge 1 ]; then shift; fi
 
 if [ ! -d "$build_dir/bench" ]; then
   echo "error: $build_dir/bench not found; build first:" >&2
   echo "  cmake -B $build_dir -S . && cmake --build $build_dir --target bench -j" >&2
   exit 1
+fi
+
+# Resolve the bench set: all bench_* binaries, or the named subset.
+if [ $# -eq 0 ]; then
+  set -- "$build_dir"/bench/bench_*
+else
+  names=$*
+  set --
+  for name in $names; do
+    case $name in bench_*) ;; *) name="bench_$name" ;; esac
+    bin="$build_dir/bench/$name"
+    if [ ! -x "$bin" ]; then
+      echo "error: $bin not found or not executable" >&2
+      exit 1
+    fi
+    set -- "$@" "$bin"
+  done
 fi
 
 # Emit a JSON string literal for stdin (escape backslash, quote, newline, tab).
@@ -22,7 +46,7 @@ json_escape() {
 }
 
 status=0
-for bin in "$build_dir"/bench/bench_*; do
+for bin in "$@"; do
   [ -x "$bin" ] || continue
   name=$(basename "$bin")
   out_file="$out_dir/BENCH_${name#bench_}.json"
