@@ -9,17 +9,27 @@
 //   --smoke  6 intervals per family instead of 40 (CI-friendly)
 //   --json   emit ONLY the machine-readable JSON payload
 //
+// A second section benches the DELIVERY layer: the clean-control stream is
+// flattened into per-device reports and replayed through the IngestPipeline
+// under in-order, reorder, duplicate-flood, and stall schedules, against a
+// direct-snapshot-push baseline. Content is identical across rows, so the
+// ms/step deltas are pure ingestion overhead and the counter columns show
+// what each fault family cost (duplicates absorbed, late claims replayed).
+//
 // tools/record_bench.sh wraps stdout into BENCH_hostile.json; the payload
 // below is embedded so the artifact is parseable either way.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table.hpp"
 #include "core/characterizer.hpp"
+#include "ingest/pipeline.hpp"
 #include "sim/hostile.hpp"
+#include "sim/report_source.hpp"
 
 namespace {
 
@@ -121,7 +131,147 @@ FamilyResult run_family(const acn::HostileSpec& spec, int intervals) {
   return result;
 }
 
-void print_json(const std::vector<FamilyResult>& results, std::size_t n,
+// --- delivery-layer rows -------------------------------------------------
+
+struct DeliveryResult {
+  std::string name;
+  double total_ms = 0.0;
+  std::uint64_t intervals = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t degraded = 0;   ///< intervals sealed with the degraded mark
+  acn::IngestCounters counters; ///< all-zero for the direct-feed baseline
+};
+
+double ms_per_step(const DeliveryResult& r) {
+  return r.intervals == 0 ? 0.0
+                          : r.total_ms / static_cast<double>(r.intervals);
+}
+
+struct CleanStream {
+  acn::Snapshot initial;
+  std::vector<acn::ObservedInterval> intervals;
+  acn::Params model;
+};
+
+CleanStream materialize_clean(std::size_t n, std::uint64_t seed,
+                              int intervals) {
+  for (const acn::HostileSpec& spec : acn::standard_hostile_suite(n, seed)) {
+    if (spec.name != "clean-control") continue;
+    acn::HostileScenario scenario(spec.params);
+    CleanStream stream{scenario.initial(), {}, spec.params.base.model};
+    for (int k = 0; k < intervals; ++k) {
+      acn::HostileStep step = scenario.advance();
+      stream.intervals.push_back(acn::ObservedInterval{
+          std::move(step.observed), std::move(step.abnormal)});
+    }
+    return stream;
+  }
+  std::fprintf(stderr, "clean-control family missing from the suite\n");
+  std::exit(2);
+}
+
+/// Timing repetitions for the delivery section: the rows compare ms/step
+/// numbers a few microseconds apart, far below this machine's run-to-run
+/// jitter, so the section runs every row once per rep (interleaved, so all
+/// rows see the same machine conditions) and each row reports its minimum.
+constexpr int kTimingReps = 7;
+
+/// Baseline: the same stream pushed straight into the monitor as closed
+/// snapshots — the paper's delivery assumptions granted for free.
+DeliveryResult run_direct(const acn::Params& model,
+                          const CleanStream& stream) {
+  DeliveryResult result;
+  result.name = "direct-feed";
+  acn::OnlineMonitor::Config config;
+  config.model = model;
+  acn::OnlineMonitor monitor(config);
+  (void)monitor.observe(stream.initial, acn::DeviceSet{});
+  const auto start = std::chrono::steady_clock::now();
+  for (const acn::ObservedInterval& interval : stream.intervals) {
+    const acn::IntervalReport report =
+        monitor.observe(interval.positions, interval.abnormal);
+    ++result.intervals;
+    result.decisions += report.decisions.size();
+  }
+  result.total_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  return result;
+}
+
+DeliveryResult run_delivery(const std::string& name, const acn::Params& model,
+                            const CleanStream& stream,
+                            const acn::DeliveryFaults& faults) {
+  DeliveryResult result;
+  result.name = name;
+  // Schedule construction is simulation cost, not pipeline cost.
+  const std::vector<acn::QosReport> schedule =
+      acn::delivery_schedule(stream.intervals, faults);
+
+  acn::IngestPipeline::Config config;
+  config.monitor.model = model;
+  config.capacity = stream.initial.size();
+  config.dim = stream.initial[0].dim();
+  config.watermark.allowed_lag = 2;
+  acn::IngestPipeline pipeline(config);
+  pipeline.prime(stream.initial);
+
+  const auto start = std::chrono::steady_clock::now();
+  pipeline.push_all(schedule);
+  pipeline.finish();
+  result.total_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  for (const acn::ClosedInterval& closed : pipeline.drain_ready()) {
+    ++result.intervals;
+    result.decisions += closed.report.decisions.size();
+    if (closed.degraded) ++result.degraded;
+  }
+  result.counters = pipeline.counters();
+  return result;
+}
+
+std::vector<DeliveryResult> run_delivery_section(std::size_t n,
+                                                 std::uint64_t seed,
+                                                 int intervals) {
+  const CleanStream stream = materialize_clean(n, seed, intervals);
+  const acn::Params model = stream.model;
+
+  acn::DeliveryFaults reorder;
+  reorder.reorder_window = n / 2;  // within the allowed_lag = 2 budget
+  reorder.seed = seed + 1;
+  acn::DeliveryFaults duplicate;
+  duplicate.duplicate_rate = 0.5;
+  duplicate.duplicate_copies = 2;
+  duplicate.seed = seed + 2;
+  acn::DeliveryFaults stall;
+  stall.stall_rate = 0.1;  // 3-interval stalls overrun the budget: claims
+  stall.stall_intervals = 3;  // replay, the burst lands late_sealed
+  stall.seed = seed + 3;
+
+  std::vector<DeliveryResult> results;
+  for (int rep = 0; rep < kTimingReps; ++rep) {
+    std::vector<DeliveryResult> pass;
+    pass.push_back(run_direct(model, stream));
+    pass.push_back(run_delivery("pipe-clean", model, stream, {}));
+    pass.push_back(run_delivery("pipe-reorder", model, stream, reorder));
+    pass.push_back(run_delivery("pipe-duplicate", model, stream, duplicate));
+    pass.push_back(run_delivery("pipe-stall", model, stream, stall));
+    if (rep == 0) {
+      results = std::move(pass);
+      continue;
+    }
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (pass[i].total_ms < results[i].total_ms) {
+        results[i].total_ms = pass[i].total_ms;
+      }
+    }
+  }
+  return results;
+}
+
+void print_json(const std::vector<FamilyResult>& results,
+                const std::vector<DeliveryResult>& delivery, std::size_t n,
                 int intervals, std::uint64_t seed) {
   std::printf("{\"bench\":\"hostile\",\"n\":%zu,\"intervals\":%d,\"seed\":%llu,",
               n, intervals, static_cast<unsigned long long>(seed));
@@ -146,6 +296,26 @@ void print_json(const std::vector<FamilyResult>& results, std::size_t n,
         ratio(r.budget_exhausted, r.decisions),
         static_cast<unsigned long long>(r.decisions),
         r.intervals == 0 ? 0.0 : r.total_ms / static_cast<double>(r.intervals));
+  }
+  std::printf("],\"delivery\":[");
+  const double direct_ms = ms_per_step(delivery.front());
+  for (std::size_t i = 0; i < delivery.size(); ++i) {
+    const DeliveryResult& d = delivery[i];
+    const acn::IngestCounters& c = d.counters;
+    std::printf(
+        "%s{\"name\":\"%s\",\"ms_per_step\":%.3f,\"overhead_pct\":%.2f,"
+        "\"decisions\":%llu,\"degraded_intervals\":%llu,"
+        "\"accepted\":%llu,\"duplicates\":%llu,\"late_sealed\":%llu,"
+        "\"replayed_claims\":%llu}",
+        i == 0 ? "" : ",", d.name.c_str(), ms_per_step(d),
+        direct_ms == 0.0 ? 0.0
+                         : 100.0 * (ms_per_step(d) - direct_ms) / direct_ms,
+        static_cast<unsigned long long>(d.decisions),
+        static_cast<unsigned long long>(d.degraded),
+        static_cast<unsigned long long>(c.accepted),
+        static_cast<unsigned long long>(c.duplicates),
+        static_cast<unsigned long long>(c.late_sealed),
+        static_cast<unsigned long long>(c.replayed_claims));
   }
   std::printf("]}\n");
 }
@@ -172,6 +342,8 @@ int main(int argc, char** argv) {
   for (const acn::HostileSpec& spec : acn::standard_hostile_suite(n, seed)) {
     results.push_back(run_family(spec, intervals));
   }
+  const std::vector<DeliveryResult> delivery =
+      run_delivery_section(n, seed, intervals);
 
   if (!json_only) {
     std::printf(
@@ -202,7 +374,35 @@ int main(int argc, char** argv) {
         "# loss trades detection recall, never precision; shadow-crowd tanks\n"
         "# isolated recall (the Theorem-5 flip); regional outages lose massive\n"
         "# recall because converging is not an r-consistent motion (R2).\n\n");
+
+    std::printf(
+        "# Delivery layer (clean-control stream replayed through the ingest\n"
+        "# pipeline; direct-feed = snapshots pushed straight to the monitor):\n\n");
+    acn::Table delivery_table({"delivery", "ms/step", "overhead %", "decisions",
+                               "degraded", "dups", "late", "replayed"});
+    const double direct_ms = ms_per_step(delivery.front());
+    for (const DeliveryResult& d : delivery) {
+      delivery_table.add_row(
+          {d.name, acn::fmt(ms_per_step(d), 3),
+           acn::fmt(direct_ms == 0.0 ? 0.0
+                                     : 100.0 * (ms_per_step(d) - direct_ms) /
+                                           direct_ms,
+                    1),
+           std::to_string(d.decisions), std::to_string(d.degraded),
+           std::to_string(d.counters.duplicates),
+           std::to_string(d.counters.late_sealed),
+           std::to_string(d.counters.replayed_claims)});
+    }
+    delivery_table.print();
+    std::printf(
+        "\n# Shape checks: pipe-clean matches direct-feed's decision count;\n"
+        "# its ms/step overhead is the price of consuming n per-device\n"
+        "# reports instead of a pre-assembled snapshot (watermark, dedup,\n"
+        "# staging, roster write-through). Reorder and duplicate rows stay\n"
+        "# inside the lateness budget (no degraded intervals, verdicts\n"
+        "# unchanged); pipe-stall overruns it, so claims replay and the\n"
+        "# stalled bursts land late_sealed — absorbed, counted, not fatal.\n\n");
   }
-  print_json(results, n, intervals, seed);
+  print_json(results, delivery, n, intervals, seed);
   return 0;
 }

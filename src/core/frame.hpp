@@ -83,6 +83,20 @@ struct FrameStats {
   std::size_t motions = 0;       ///< distinct maximal motions interned
 };
 
+/// A closed interval as handed down from the ingestion layer: the
+/// materialized snapshot, the abnormal set, and the ingest-quality marker.
+/// `degraded` is metadata — it never changes what is computed, it travels
+/// with the interval so every consumer of the verdicts knows the lateness
+/// budget or the overload policy clipped the inputs (shed claims, deferred
+/// devices, a forced early close). The watermark pipeline (src/ingest)
+/// produces these; OnlineMonitor forwards them here.
+struct SealedFrame {
+  std::uint64_t interval = 0;
+  Snapshot positions;
+  DeviceSet abnormal;
+  bool degraded = false;
+};
+
 /// The streaming engine: feed one snapshot per interval, read verdicts.
 class FrameEngine {
  public:
@@ -116,6 +130,13 @@ class FrameEngine {
   /// deployments with churn feed it through FleetRoster, which recycles
   /// slots inside a fixed capacity instead of resizing the snapshot.
   std::optional<Result> observe(Snapshot positions, DeviceSet abnormal);
+
+  /// Sealed-frame handoff from the ingestion layer: same contract, the
+  /// frame's snapshot and abnormal set are moved in. The degraded marker
+  /// does not influence the computation (see SealedFrame).
+  std::optional<Result> observe(SealedFrame frame) {
+    return observe(std::move(frame.positions), std::move(frame.abnormal));
+  }
 
   /// The rolling state (requires at least one observe()).
   [[nodiscard]] const StatePair& state() const { return ring_.state(); }

@@ -1,0 +1,55 @@
+#include "ingest/liveness.hpp"
+
+#include <algorithm>
+
+namespace acn {
+
+bool LivenessTracker::reported(GatewayKey key, std::uint64_t interval) {
+  if (!enabled()) return false;
+  auto [it, inserted] = state_.try_emplace(key);
+  DeviceState& device = it->second;
+  const bool revived = !inserted && device.suspect;
+  if (revived) --suspects_;
+  device.last_heard = std::max(device.last_heard, interval);
+  device.retries = 0;
+  device.suspect = false;
+  return revived;
+}
+
+void LivenessTracker::forget(GatewayKey key) {
+  const auto it = state_.find(key);
+  if (it == state_.end()) return;
+  if (it->second.suspect) --suspects_;
+  state_.erase(it);
+}
+
+std::vector<GatewayKey> LivenessTracker::sealed(std::uint64_t interval) {
+  std::vector<GatewayKey> expired;
+  if (!enabled()) return expired;
+  for (auto& [key, device] : state_) {
+    if (device.last_heard + config_.silent_intervals > interval) continue;
+    if (!device.suspect) {
+      // First threshold crossing: start the retry ladder instead of
+      // retiring outright — a stalled source deserves the benefit of
+      // the backoff before its slot is parked.
+      device.suspect = true;
+      ++suspects_;
+      device.retries = 0;
+      device.next_probe = interval + std::max<std::uint64_t>(1, config_.retry_backoff);
+      continue;
+    }
+    if (interval < device.next_probe) continue;
+    if (device.retries + 1 >= config_.max_retries) {
+      expired.push_back(key);
+      continue;
+    }
+    ++device.retries;
+    const std::uint64_t backoff = std::max<std::uint64_t>(1, config_.retry_backoff)
+                                  << device.retries;
+    device.next_probe = interval + backoff;
+  }
+  std::sort(expired.begin(), expired.end());
+  return expired;
+}
+
+}  // namespace acn

@@ -1,0 +1,78 @@
+// LivenessTracker: decides, per sealed interval, which silent devices to
+// keep waiting on, probe again, or give up and retire.
+//
+// A silent device is ambiguous: it may be dead (its gateway crashed — the
+// roster should park its slot and stop replaying a claim nobody stands
+// behind) or merely slow (a stalled uplink that will flush). The tracker
+// resolves the ambiguity in interval time, not wall-clock time, because
+// the pipeline's whole notion of "now" is the watermark: a device becomes
+// *suspect* after `silent_intervals` consecutive seals without a report,
+// then gets `max_retries` chances spaced by an exponentially growing
+// backoff (retry, 2x, 4x, ...) before it is handed to the roster's retire
+// path. Any report from a suspect device revives it instantly and resets
+// the ladder.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ingest/report.hpp"
+
+namespace acn {
+
+struct LivenessConfig {
+  /// Consecutive sealed intervals without a report before a device turns
+  /// suspect. 0 disables liveness tracking entirely.
+  std::uint64_t silent_intervals = 0;
+  /// Intervals between retries once suspect; doubles per retry.
+  std::uint64_t retry_backoff = 2;
+  /// Retries granted before retirement.
+  std::uint32_t max_retries = 3;
+};
+
+class LivenessTracker {
+ public:
+  explicit LivenessTracker(LivenessConfig config) : config_(config) {}
+
+  /// The device reported in (or before) interval k. Returns true if this
+  /// revived a suspect device.
+  bool reported(GatewayKey key, std::uint64_t interval);
+
+  /// The device joined the tracked set at interval k (admission counts as
+  /// hearing from it).
+  void admitted(GatewayKey key, std::uint64_t interval) {
+    (void)reported(key, interval);
+  }
+
+  /// The device left by an external path (explicit retire); forget it.
+  void forget(GatewayKey key);
+
+  /// Interval k sealed: ages every tracked device that stayed silent and
+  /// returns the ones whose retry ladder is exhausted, sorted by key —
+  /// the caller routes them to the roster's retire path and then calls
+  /// forget() for each (this tracker never retires anything itself).
+  [[nodiscard]] std::vector<GatewayKey> sealed(std::uint64_t interval);
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return config_.silent_intervals > 0;
+  }
+  [[nodiscard]] std::size_t suspect_count() const noexcept { return suspects_; }
+  [[nodiscard]] std::size_t tracked_count() const noexcept {
+    return state_.size();
+  }
+
+ private:
+  struct DeviceState {
+    std::uint64_t last_heard = 0;  ///< latest interval with a report
+    std::uint32_t retries = 0;     ///< probes consumed since turning suspect
+    std::uint64_t next_probe = 0;  ///< seal interval of the next retry check
+    bool suspect = false;
+  };
+
+  LivenessConfig config_;
+  std::unordered_map<GatewayKey, DeviceState> state_;
+  std::size_t suspects_ = 0;
+};
+
+}  // namespace acn

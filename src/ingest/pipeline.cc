@@ -1,0 +1,272 @@
+#include "ingest/pipeline.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace acn {
+
+void WatermarkConfig::validate() const {
+  if (allowed_lag == 0) {
+    throw std::invalid_argument(
+        "WatermarkConfig: allowed_lag must be >= 1 (0 would seal an interval "
+        "on its first report)");
+  }
+  if (max_watermark_jump == 0) {
+    throw std::invalid_argument(
+        "WatermarkConfig: max_watermark_jump must be >= 1");
+  }
+}
+
+namespace {
+
+OnlineMonitor::Config roster_backed(OnlineMonitor::Config monitor,
+                                    std::size_t capacity, std::size_t dim) {
+  monitor.roster_capacity = capacity;
+  monitor.roster_dim = dim;
+  return monitor;
+}
+
+}  // namespace
+
+IngestPipeline::IngestPipeline(Config config)
+    : config_(std::move(config)),
+      monitor_(roster_backed(config_.monitor, config_.capacity, config_.dim)),
+      overload_(config_.overload),
+      liveness_(config_.liveness) {
+  if (config_.capacity == 0) {
+    throw std::invalid_argument("IngestPipeline: capacity must be >= 1");
+  }
+  config_.watermark.validate();
+  shed_possible_ = config_.overload.shed_claim_threshold !=
+                   static_cast<std::size_t>(-1);
+}
+
+void IngestPipeline::prime(
+    std::span<const std::pair<GatewayKey, Point>> fleet) {
+  if (primed_) {
+    throw std::logic_error("IngestPipeline::prime: already primed");
+  }
+  for (const auto& [key, position] : fleet) {
+    monitor_.admit(key, position);
+    liveness_.admitted(key, 0);
+  }
+  // Seal interval 0: primes the engine's ring with the roster snapshot and
+  // clears the just-admitted markers, so interval 1 trajectories exist.
+  (void)monitor_.close_interval({});
+  primed_ = true;
+}
+
+void IngestPipeline::prime(const Snapshot& initial) {
+  std::vector<std::pair<GatewayKey, Point>> fleet;
+  fleet.reserve(initial.size());
+  for (DeviceId j = 0; j < initial.size(); ++j) {
+    fleet.emplace_back(static_cast<GatewayKey>(j), initial[j]);
+  }
+  prime(fleet);
+}
+
+void IngestPipeline::push(const QosReport& report) {
+  if (!primed_) {
+    throw std::logic_error("IngestPipeline::push: prime() first");
+  }
+  const std::uint64_t k = report.interval;
+  if (k < next_to_seal_) {
+    // The interval is sealed; its snapshot already replayed this device's
+    // last claim (the hostile layer's self-consistency rule). Retroactive
+    // application would fork the published history, so: counted, dropped.
+    ++counters_.late_sealed;
+    return;
+  }
+  if (k > max_seen_ + config_.watermark.max_future_skip) {
+    ++counters_.future_rejected;
+    return;
+  }
+
+  StagingFrame* frame = hot_frame_;
+  if (frame == nullptr || hot_interval_ != k) {
+    auto it = frames_.find(k);
+    if (it == frames_.end()) {
+      StagingFrame fresh;
+      if (frame_pool_.empty()) {
+        fresh.configure(config_.capacity, config_.dim);
+      } else {
+        fresh = std::move(frame_pool_.back());
+        frame_pool_.pop_back();
+      }
+      fresh.first_seen_tick = tick_;
+      it = frames_.emplace(k, std::move(fresh)).first;
+    }
+    frame = &it->second;  // map nodes are stable until erased
+    hot_frame_ = frame;
+    hot_interval_ = k;
+  }
+  if (k > max_seen_) max_seen_ = k;  // the event time counts even if shed
+
+  // Overload shed: past the volume threshold, non-flagged claim updates
+  // are sampled by content hash — the flagged ones always land.
+  if (shed_possible_ && !report.abnormal &&
+      overload_.shed_claim(report.device, k, frame->volume())) {
+    ++counters_.shed_claims;
+    frame->shed_engaged = true;
+  } else {
+    switch (frame->apply(report)) {
+      case StagingFrame::Apply::kAccepted:
+        ++counters_.accepted;
+        break;
+      case StagingFrame::Apply::kSuperseded:
+      case StagingFrame::Apply::kStale:
+        ++counters_.superseded;
+        break;
+      case StagingFrame::Apply::kDuplicate:
+        ++counters_.duplicates;
+        break;
+    }
+  }
+  seal_ready();
+}
+
+void IngestPipeline::push_all(std::span<const QosReport> reports) {
+  if (!primed_) {
+    throw std::logic_error("IngestPipeline::push: prime() first");
+  }
+  for (const QosReport& report : reports) push(report);
+}
+
+void IngestPipeline::seal_ready() {
+  // Watermark rule: k seals once max_seen - k >= allowed_lag. When one
+  // advance flushes more than max_watermark_jump intervals (an interval
+  // flood slammed the watermark forward), the excess — the oldest ones,
+  // flushed furthest from their lateness window — seal forced/degraded.
+  while (max_seen_ >= next_to_seal_ + config_.watermark.allowed_lag) {
+    const std::uint64_t pending =
+        max_seen_ - config_.watermark.allowed_lag - next_to_seal_ + 1;
+    seal(next_to_seal_,
+         /*forced=*/pending > config_.watermark.max_watermark_jump);
+  }
+}
+
+void IngestPipeline::tick() {
+  ++tick_;
+  if (config_.watermark.timeout_ticks == 0 || !primed_) return;
+  // The stall rule watches the OLDEST staged frame: once it has been open
+  // for timeout_ticks, everything up to and including it seals (the empty
+  // gap intervals before it are only open because it dammed the stream).
+  while (!frames_.empty()) {
+    const auto oldest = frames_.begin();
+    if (tick_ - oldest->second.first_seen_tick <
+        config_.watermark.timeout_ticks) {
+      break;
+    }
+    const std::uint64_t blocked_through = oldest->first;
+    while (next_to_seal_ <= blocked_through) {
+      seal(next_to_seal_, /*forced=*/true);
+    }
+  }
+}
+
+void IngestPipeline::finish() {
+  if (!primed_) return;
+  while (next_to_seal_ <= max_seen_) {
+    // End of stream: nothing further can arrive, so these frames are as
+    // complete as they will ever be — a normal close, not a forced one.
+    seal(next_to_seal_, /*forced=*/false);
+  }
+}
+
+std::vector<ClosedInterval> IngestPipeline::drain_ready() {
+  return std::exchange(ready_, {});
+}
+
+void IngestPipeline::seal(std::uint64_t interval, bool forced) {
+  ClosedInterval closed;
+  closed.interval = interval;
+  closed.forced = forced;
+
+  StagingFrame frame;
+  bool poolable = false;  // gap intervals seal a lane-less placeholder
+  if (const auto it = frames_.find(interval); it != frames_.end()) {
+    frame = std::move(it->second);
+    frames_.erase(it);
+    poolable = true;
+    if (hot_interval_ == interval) hot_frame_ = nullptr;
+  }
+  bool degraded = forced || frame.shed_engaged;
+  if (forced) ++counters_.forced_closes;
+
+  // Apply the staged claims in key order (deterministic under any delivery
+  // permutation). First-seen keys are auto-admitted; when the roster is
+  // full the report is refused and the interval marked degraded.
+  std::vector<GatewayKey> flagged;
+  std::vector<Point> flagged_claims;
+  const FleetRoster& roster = monitor_.roster();
+  const bool liveness_on = liveness_.enabled();
+  frame.for_each_sorted([&](GatewayKey key,
+                            const StagingFrame::Staged& staged) {
+    if (monitor_.try_report(key, staged.claim)) {
+      if (liveness_on && liveness_.reported(key, interval)) {
+        ++counters_.revived_devices;
+      }
+    } else {
+      if (roster.active_count() >= roster.capacity()) {
+        ++counters_.admit_rejected;
+        degraded = true;
+        return;
+      }
+      monitor_.admit(key, staged.claim);
+      if (liveness_on) liveness_.admitted(key, interval);
+      ++counters_.admitted_devices;
+    }
+    ++closed.reported;
+    if (staged.flagged) {
+      flagged.push_back(key);
+      flagged_claims.push_back(staged.claim);
+    }
+  });
+  if (poolable) {
+    frame.reset();
+    frame_pool_.push_back(std::move(frame));
+  }
+  closed.replayed = monitor_.roster().active_count() - closed.reported;
+  counters_.replayed_claims += closed.replayed;
+
+  // Liveness: devices silent past the threshold walk the retry ladder;
+  // the exhausted ones go through the roster's retire path (slot parks at
+  // its last claim, open episode force-closed). A device that reported
+  // this interval was just marked heard, so it can never expire here.
+  for (const GatewayKey key : liveness_.sealed(interval)) {
+    liveness_.forget(key);
+    if (!monitor_.roster().active(key)) continue;  // externally retired
+    monitor_.retire(key);
+    ++counters_.retired_devices;
+    closed.retired.push_back(key);
+  }
+
+  // Overload deferral: past the abnormal cap, flagged devices with no
+  // flagged 2r-neighbour (at claimed positions) are deferred — provably
+  // without effect on the surviving devices' verdicts (see overload.hpp).
+  const std::vector<std::size_t> deferred = overload_.defer_candidates(
+      flagged_claims, config_.monitor.model.window());
+  if (!deferred.empty()) {
+    degraded = true;
+    counters_.deferred_devices += deferred.size();
+    std::vector<GatewayKey> kept;
+    kept.reserve(flagged.size() - deferred.size());
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < flagged.size(); ++i) {
+      if (next < deferred.size() && deferred[next] == i) {
+        closed.deferred.push_back(flagged[i]);
+        ++next;
+      } else {
+        kept.push_back(flagged[i]);
+      }
+    }
+    flagged = std::move(kept);
+  }
+
+  closed.degraded = degraded;
+  closed.report = monitor_.close_interval(flagged, degraded);
+  ready_.push_back(std::move(closed));
+  ++next_to_seal_;
+}
+
+}  // namespace acn

@@ -1,0 +1,81 @@
+#include "ingest/queue.hpp"
+
+#include <stdexcept>
+
+namespace acn {
+
+BoundedReportQueue::BoundedReportQueue(std::size_t capacity, Policy policy)
+    : capacity_(capacity), policy_(policy) {
+  if (capacity == 0) {
+    throw std::invalid_argument("BoundedReportQueue: capacity must be >= 1");
+  }
+}
+
+bool BoundedReportQueue::push(const QosReport& report) {
+  std::unique_lock lock(mutex_);
+  if (policy_ == Policy::kBlock) {
+    space_cv_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+  }
+  if (closed_ || items_.size() >= capacity_) {
+    ++rejected_;
+    return false;
+  }
+  items_.push_back(report);
+  if (items_.size() > peak_depth_) peak_depth_ = items_.size();
+  lock.unlock();
+  item_cv_.notify_one();
+  return true;
+}
+
+std::optional<QosReport> BoundedReportQueue::pop() {
+  std::unique_lock lock(mutex_);
+  item_cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return std::nullopt;  // closed and drained
+  QosReport report = items_.front();
+  items_.pop_front();
+  lock.unlock();
+  space_cv_.notify_one();
+  return report;
+}
+
+bool BoundedReportQueue::try_pop(QosReport& out) {
+  std::unique_lock lock(mutex_);
+  if (items_.empty()) return false;
+  out = items_.front();
+  items_.pop_front();
+  lock.unlock();
+  space_cv_.notify_one();
+  return true;
+}
+
+void BoundedReportQueue::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  space_cv_.notify_all();
+  item_cv_.notify_all();
+}
+
+std::size_t BoundedReportQueue::depth() const {
+  std::lock_guard lock(mutex_);
+  return items_.size();
+}
+
+bool BoundedReportQueue::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+std::uint64_t BoundedReportQueue::rejected() const {
+  std::lock_guard lock(mutex_);
+  return rejected_;
+}
+
+std::size_t BoundedReportQueue::peak_depth() const {
+  std::lock_guard lock(mutex_);
+  return peak_depth_;
+}
+
+}  // namespace acn

@@ -1,0 +1,69 @@
+// BoundedReportQueue: the backpressure boundary between report sources and
+// the pipeline pump.
+//
+// Sources (transport handlers, simulated gateways, replay drivers) run on
+// their own threads; the pipeline itself is single-threaded by design (its
+// sealing order is the stream's order). The queue is the only concurrency
+// primitive between them, and it is *bounded*: when the pump falls behind,
+// producers either block (lossless backpressure, the default) or get an
+// immediate reject (shed at the edge, counted) — the queue never grows
+// without bound and the pump never deadlocks against a full queue.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "ingest/report.hpp"
+
+namespace acn {
+
+class BoundedReportQueue {
+ public:
+  enum class Policy : std::uint8_t {
+    kBlock,   ///< push waits for space (backpressure propagates to the source)
+    kReject,  ///< push returns false immediately when full (counted)
+  };
+
+  /// Throws std::invalid_argument on capacity == 0.
+  explicit BoundedReportQueue(std::size_t capacity,
+                              Policy policy = Policy::kBlock);
+
+  /// Enqueues one report. Returns false if the queue is closed, or full
+  /// under kReject. Under kBlock, waits until space frees or the queue
+  /// closes.
+  bool push(const QosReport& report);
+
+  /// Dequeues one report, waiting until one is available. Returns nullopt
+  /// once the queue is closed AND drained — the pump's termination signal.
+  std::optional<QosReport> pop();
+
+  /// Non-blocking dequeue; false when empty (closed or not).
+  bool try_pop(QosReport& out);
+
+  /// Closes the queue: subsequent pushes fail, blocked pushers and poppers
+  /// wake, pops drain the backlog then return nullopt. Idempotent.
+  void close();
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] bool closed() const;
+  /// Pushes refused because the queue was full (kReject) or closed.
+  [[nodiscard]] std::uint64_t rejected() const;
+  /// High-water mark of depth() — the backlog the pump actually faced.
+  [[nodiscard]] std::size_t peak_depth() const;
+
+ private:
+  const std::size_t capacity_;
+  const Policy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable space_cv_;  ///< blocked producers park here
+  std::condition_variable item_cv_;   ///< the pump parks here
+  std::deque<QosReport> items_;
+  bool closed_ = false;
+  std::uint64_t rejected_ = 0;
+  std::size_t peak_depth_ = 0;
+};
+
+}  // namespace acn

@@ -28,12 +28,14 @@ void OnlineMonitor::retire(GatewayKey key) {
   if (!roster_.has_value()) {
     throw std::logic_error("OnlineMonitor::retire: roster mode is off");
   }
+  // A late force-close can race an explicit retirement (operator removal
+  // vs. the ingestion layer's liveness expiry): the second retire of the
+  // same gateway is a no-op, never a throw and never a second episode.
+  const std::optional<DeviceId> slot = roster_->slot_of(key);
+  if (!slot.has_value()) return;
   // Close the slot's episode before the slot can be recycled: a new
   // occupant must never extend the departed gateway's incident.
-  if (const std::optional<DeviceId> slot = roster_->slot_of(key);
-      slot.has_value()) {
-    episodes_.close(*slot);
-  }
+  episodes_.close(*slot);
   roster_->retire(key);
 }
 
@@ -44,14 +46,21 @@ void OnlineMonitor::report(GatewayKey key, const Point& position) {
   roster_->report(key, position);
 }
 
+bool OnlineMonitor::try_report(GatewayKey key, const Point& position) {
+  if (!roster_.has_value()) {
+    throw std::logic_error("OnlineMonitor::try_report: roster mode is off");
+  }
+  return roster_->try_report(key, position);
+}
+
 IntervalReport OnlineMonitor::close_interval(
-    std::span<const GatewayKey> abnormal_keys) {
+    std::span<const GatewayKey> abnormal_keys, bool degraded) {
   if (!roster_.has_value()) {
     throw std::logic_error("OnlineMonitor::close_interval: roster mode is off");
   }
   const DeviceSet abnormal = roster_->abnormal_slots(abnormal_keys);
   roster_->end_interval();
-  return observe(roster_->snapshot(), abnormal);
+  return observe(roster_->snapshot(), abnormal, degraded);
 }
 
 const FleetRoster& OnlineMonitor::roster() const {
@@ -62,16 +71,21 @@ const FleetRoster& OnlineMonitor::roster() const {
 }
 
 IntervalReport OnlineMonitor::observe(Snapshot positions,
-                                      const DeviceSet& abnormal) {
+                                      const DeviceSet& abnormal,
+                                      bool degraded) {
   IntervalReport report;
   report.interval = interval_;
   report.abnormal = abnormal;
+  report.degraded = degraded;
 
   // The engine rolls its ring in place (the snapshot is moved, never
   // copied), re-buckets only the devices that moved, and characterizes A_k
   // over the shared motion plane — serially or across its worker pool.
-  const std::optional<FrameEngine::Result> result =
-      engine_.observe(std::move(positions), abnormal);
+  const std::optional<FrameEngine::Result> result = engine_.observe(
+      SealedFrame{.interval = interval_,
+                  .positions = std::move(positions),
+                  .abnormal = abnormal,
+                  .degraded = degraded});
   if (result.has_value() && !abnormal.empty()) {
     const DeviceSet& ordered = engine_.state().abnormal();
     for (std::size_t i = 0; i < result->decisions.size(); ++i) {

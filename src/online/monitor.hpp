@@ -32,6 +32,11 @@ struct IntervalReport {
   DeviceSet massive;
   DeviceSet unresolved;
   std::map<DeviceId, Decision> decisions;
+  /// Set when the ingestion layer sealed this interval degraded (shed
+  /// claims, deferred characterizations, or a forced early close): the
+  /// verdicts are sound for the inputs that survived, but the inputs were
+  /// clipped — weigh them accordingly.
+  bool degraded = false;
 
   [[nodiscard]] double unresolved_ratio() const noexcept {
     return abnormal.empty() ? 0.0
@@ -65,9 +70,12 @@ class OnlineMonitor {
 
   /// Feeds the snapshot of interval k (moved into the engine's ring);
   /// returns verdicts (empty report for the very first snapshot — no
-  /// motion to characterize yet).
+  /// motion to characterize yet). `degraded` marks an interval the
+  /// ingestion layer sealed under shed/defer/forced-close policy; it is
+  /// carried through to the report, never interpreted.
   /// Throws std::invalid_argument if the fleet size or dimension changes.
-  IntervalReport observe(Snapshot positions, const DeviceSet& abnormal);
+  IntervalReport observe(Snapshot positions, const DeviceSet& abnormal,
+                         bool degraded = false);
 
   // --- churned-fleet front door (roster mode; throws std::logic_error
   //     when roster_capacity == 0) ---
@@ -76,14 +84,22 @@ class OnlineMonitor {
   /// NEXT interval (no trajectory exists in its join interval).
   DeviceId admit(GatewayKey key, const Point& position);
   /// Retires a gateway mid-stream; its slot is parked and its open episode
-  /// (if any) force-closed so a recycled slot cannot inherit it.
+  /// (if any) force-closed so a recycled slot cannot inherit it. Idempotent:
+  /// retiring an already-retired (or never-admitted) key is a no-op, so an
+  /// explicit retirement racing a late liveness force-close is harmless.
   void retire(GatewayKey key);
   /// Updates an active gateway's reported QoS position for this interval.
   void report(GatewayKey key, const Point& position);
+  /// report() that returns false instead of throwing when the key is not
+  /// active — the ingestion layer's per-device hot path (one roster lookup
+  /// for the check and the update together).
+  bool try_report(GatewayKey key, const Point& position);
   /// Closes the interval: materializes the roster snapshot, maps the
   /// abnormal gateway keys to slots (dropping retired and just-admitted
   /// gateways), and feeds the engine — the churn-tolerant observe().
-  IntervalReport close_interval(std::span<const GatewayKey> abnormal_keys);
+  /// `degraded` is the ingestion layer's quality marker (see observe()).
+  IntervalReport close_interval(std::span<const GatewayKey> abnormal_keys,
+                                bool degraded = false);
 
   /// The embedded roster (requires roster mode).
   [[nodiscard]] const FleetRoster& roster() const;

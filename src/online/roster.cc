@@ -13,13 +13,32 @@ FleetRoster::FleetRoster(std::size_t capacity, std::size_t dim) : dim_(dim) {
   }
   positions_.assign(capacity, Point::zero(dim));
   just_assigned_.assign(capacity, 0);
+  slot_lane_.assign(capacity, kNoSlot);
   key_of_.assign(capacity, 0);
   occupied_.assign(capacity, 0);
   for (DeviceId slot = 0; slot < capacity; ++slot) free_.push_back(slot);
 }
 
+void FleetRoster::slot_insert(GatewayKey key, DeviceId slot) {
+  if (key < slot_lane_.size()) {
+    slot_lane_[key] = slot;
+  } else {
+    slot_spill_.emplace(key, slot);
+  }
+  ++active_;
+}
+
+void FleetRoster::slot_erase(GatewayKey key) {
+  if (key < slot_lane_.size()) {
+    slot_lane_[key] = kNoSlot;
+  } else {
+    slot_spill_.erase(key);
+  }
+  --active_;
+}
+
 DeviceId FleetRoster::admit(GatewayKey key, const Point& position) {
-  if (slot_of_.contains(key)) {
+  if (slot_lookup(key) != kNoSlot) {
     throw std::invalid_argument("FleetRoster::admit: key already active");
   }
   if (position.dim() != dim_ || !position.in_unit_box()) {
@@ -35,46 +54,50 @@ DeviceId FleetRoster::admit(GatewayKey key, const Point& position) {
   just_assigned_[slot] = 1;
   key_of_[slot] = key;
   occupied_[slot] = 1;
-  slot_of_.emplace(key, slot);
+  slot_insert(key, slot);
   return slot;
 }
 
 void FleetRoster::retire(GatewayKey key) {
-  const auto it = slot_of_.find(key);
-  if (it == slot_of_.end()) {
+  const DeviceId slot = slot_lookup(key);
+  if (slot == kNoSlot) {
     throw std::invalid_argument("FleetRoster::retire: key not active");
   }
-  const DeviceId slot = it->second;
-  slot_of_.erase(it);
+  slot_erase(key);
   occupied_[slot] = 0;
   free_.push_back(slot);  // position stays parked where it last reported
 }
 
 void FleetRoster::report(GatewayKey key, const Point& position) {
-  const auto it = slot_of_.find(key);
-  if (it == slot_of_.end()) {
+  if (!try_report(key, position)) {
     throw std::invalid_argument("FleetRoster::report: key not active");
   }
+}
+
+bool FleetRoster::try_report(GatewayKey key, const Point& position) {
+  const DeviceId slot = slot_lookup(key);
+  if (slot == kNoSlot) return false;
   if (position.dim() != dim_ || !position.in_unit_box()) {
     throw std::invalid_argument("FleetRoster::report: bad position");
   }
-  positions_[it->second] = position;
+  positions_[slot].assign_compact(position);
+  return true;
 }
 
 std::optional<DeviceId> FleetRoster::slot_of(GatewayKey key) const noexcept {
-  const auto it = slot_of_.find(key);
-  if (it == slot_of_.end()) return std::nullopt;
-  return it->second;
+  const DeviceId slot = slot_lookup(key);
+  if (slot == kNoSlot) return std::nullopt;
+  return slot;
 }
 
 DeviceSet FleetRoster::abnormal_slots(std::span<const GatewayKey> keys) const {
   std::vector<DeviceId> slots;
   slots.reserve(keys.size());
   for (const GatewayKey key : keys) {
-    const auto it = slot_of_.find(key);
-    if (it == slot_of_.end()) continue;            // retired or unknown
-    if (just_assigned_[it->second] != 0) continue; // no trajectory yet
-    slots.push_back(it->second);
+    const DeviceId slot = slot_lookup(key);
+    if (slot == kNoSlot) continue;        // retired or unknown
+    if (just_assigned_[slot] != 0) continue;  // no trajectory yet
+    slots.push_back(slot);
   }
   return DeviceSet(std::move(slots));
 }

@@ -62,11 +62,17 @@ class FleetRoster {
   /// not active or the position is out of range.
   void report(GatewayKey key, const Point& position);
 
+  /// report() for the ingestion hot path: updates the position and returns
+  /// true iff the key is active — one lookup instead of an active() check
+  /// followed by report(). Still throws on a malformed position (a bad
+  /// claim is a caller bug, not churn).
+  bool try_report(GatewayKey key, const Point& position);
+
   [[nodiscard]] bool active(GatewayKey key) const noexcept {
-    return slot_of_.contains(key);
+    return slot_lookup(key) != kNoSlot;
   }
   [[nodiscard]] std::optional<DeviceId> slot_of(GatewayKey key) const noexcept;
-  [[nodiscard]] std::size_t active_count() const noexcept { return slot_of_.size(); }
+  [[nodiscard]] std::size_t active_count() const noexcept { return active_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return positions_.size(); }
   [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
 
@@ -87,10 +93,26 @@ class FleetRoster {
   void end_interval();
 
  private:
+  static constexpr DeviceId kNoSlot = ~DeviceId{0};
+
+  // Key -> slot resolution sits on the ingestion layer's per-report hot
+  // path, so it is split like the staging lane: keys below capacity (the
+  // usual deployment numbering, and everything a dense prime() admits)
+  // index a flat vector; larger keys spill to the hash map.
+  [[nodiscard]] DeviceId slot_lookup(GatewayKey key) const noexcept {
+    if (key < slot_lane_.size()) return slot_lane_[key];
+    const auto it = slot_spill_.find(key);
+    return it == slot_spill_.end() ? kNoSlot : it->second;
+  }
+  void slot_insert(GatewayKey key, DeviceId slot);
+  void slot_erase(GatewayKey key);
+
   std::size_t dim_;
   std::vector<Point> positions_;            ///< per slot, active or parked
   std::vector<std::uint8_t> just_assigned_; ///< per slot, reset by end_interval
-  std::unordered_map<GatewayKey, DeviceId> slot_of_;
+  std::vector<DeviceId> slot_lane_;         ///< key < capacity; kNoSlot = absent
+  std::unordered_map<GatewayKey, DeviceId> slot_spill_;  ///< key >= capacity
+  std::size_t active_ = 0;
   std::vector<GatewayKey> key_of_;          ///< per slot; meaningful iff occupied
   std::vector<std::uint8_t> occupied_;      ///< per slot
   std::deque<DeviceId> free_;               ///< FIFO recycle queue

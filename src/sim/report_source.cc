@@ -1,0 +1,101 @@
+#include "sim/report_source.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace acn {
+
+std::vector<QosReport> delivery_schedule(
+    const std::vector<ObservedInterval>& stream, const DeliveryFaults& faults,
+    std::vector<std::uint64_t>* killed_from) {
+  if (faults.duplicate_copies == 0) {
+    throw std::invalid_argument(
+        "delivery_schedule: duplicate_copies must be >= 1");
+  }
+  std::vector<QosReport> schedule;
+  if (stream.empty()) {
+    if (killed_from != nullptr) killed_from->clear();
+    return schedule;
+  }
+  const std::size_t n = stream.front().positions.size();
+  Rng rng(faults.seed);
+
+  constexpr std::uint64_t kAlive = std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::uint64_t> dead_from(n, kAlive);
+  // stall_until[j] > k means j's report for k buffers until that interval.
+  std::vector<std::uint64_t> stall_until(n, 0);
+
+  struct Slotted {
+    std::uint64_t key;  ///< jittered delivery slot; stable sort breaks ties
+    QosReport report;
+  };
+  std::vector<Slotted> slotted;
+  slotted.reserve(stream.size() * n);
+
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const std::uint64_t k = static_cast<std::uint64_t>(i) + 1;
+    const ObservedInterval& interval = stream[i];
+    if (interval.positions.size() != n) {
+      throw std::invalid_argument(
+          "delivery_schedule: stream changes fleet size");
+    }
+    for (DeviceId j = 0; j < n; ++j) {
+      // Interval-boundary fate draws, in a fixed order so the schedule is
+      // a pure function of (stream, faults, seed).
+      if (dead_from[j] == kAlive && faults.kill_rate > 0.0 &&
+          rng.bernoulli(faults.kill_rate)) {
+        dead_from[j] = k;
+      }
+      if (dead_from[j] != kAlive) continue;
+      if (stall_until[j] <= k && faults.stall_rate > 0.0 &&
+          rng.bernoulli(faults.stall_rate)) {
+        stall_until[j] = k + faults.stall_intervals;
+      }
+
+      QosReport report;
+      report.device = static_cast<GatewayKey>(j);
+      report.interval = k;
+      report.claim = interval.positions[j];
+      report.abnormal = interval.abnormal.contains(j);
+      report.arrival_seq = k;
+
+      // In-order slot of report (k, j) is its flattened index; a stalled
+      // device's reports shift whole interval-blocks forward so they burst
+      // out with the release interval's block.
+      const std::uint64_t release =
+          stall_until[j] > k ? stall_until[j] : k;
+      std::uint64_t slot = (release - 1) * n + j;
+      if (faults.reorder_window > 0) {
+        slot += rng.uniform_int(faults.reorder_window + 1);
+      }
+      slotted.push_back(Slotted{slot, report});
+
+      if (faults.duplicate_rate > 0.0 &&
+          rng.bernoulli(faults.duplicate_rate)) {
+        for (std::uint32_t c = 0; c < faults.duplicate_copies; ++c) {
+          std::uint64_t dup_slot = slot;
+          if (faults.reorder_window > 0) {
+            dup_slot += 1 + rng.uniform_int(faults.reorder_window);
+          } else {
+            dup_slot += 1;  // retransmission trails the original
+          }
+          slotted.push_back(Slotted{dup_slot, report});
+        }
+      }
+    }
+  }
+
+  std::stable_sort(slotted.begin(), slotted.end(),
+                   [](const Slotted& a, const Slotted& b) {
+                     return a.key < b.key;
+                   });
+  schedule.reserve(slotted.size());
+  for (const Slotted& s : slotted) schedule.push_back(s.report);
+  if (killed_from != nullptr) *killed_from = std::move(dead_from);
+  return schedule;
+}
+
+}  // namespace acn

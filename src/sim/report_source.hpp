@@ -1,0 +1,67 @@
+// Report-delivery simulation: flattens a materialized snapshot stream into
+// the per-device QosReports the ingest pipeline consumes, with injectable
+// delivery faults.
+//
+// The hostile layer (sim/hostile) perturbs WHAT is reported — claims drift,
+// go missing, lie. This layer perturbs HOW reports travel: out-of-order
+// delivery, retransmission storms, per-device stalls that buffer-and-burst,
+// and outright source death. The two compose: any hostile family's observed
+// stream can be re-delivered through any fault schedule, which is exactly
+// what the ingest conformance test does (faults within the lateness budget
+// must leave every Decision byte-identical) and what the fault-injection
+// suite stresses past the budget.
+//
+// Determinism contract: the same (stream, faults, seed) triple produces the
+// same delivery schedule bit-for-bit on any platform (all randomness flows
+// through Rng). Bounded-displacement reorder is implemented as a stable
+// sort over jittered slot keys, so every report's delivery position differs
+// from its in-order position by at most `reorder_window` slots — the
+// analytical handle that keeps a schedule inside a watermark budget:
+// displacement stays under (allowed_lag - 1) * reports_per_interval / 2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/device_set.hpp"
+#include "core/state.hpp"
+#include "ingest/report.hpp"
+
+namespace acn {
+
+struct DeliveryFaults {
+  /// Max slots a report may move from its in-order delivery position
+  /// (0 = in-order).
+  std::uint64_t reorder_window = 0;
+  /// P{a report is retransmitted} — copies carry the SAME arrival_seq.
+  double duplicate_rate = 0.0;
+  /// Retransmissions per duplicated report.
+  std::uint32_t duplicate_copies = 1;
+  /// P{a device stalls at an interval boundary}: its reports for the next
+  /// `stall_intervals` intervals buffer and burst out afterwards.
+  double stall_rate = 0.0;
+  std::uint64_t stall_intervals = 1;
+  /// P{a device dies at an interval boundary}: all its reports from that
+  /// interval on are dropped (the liveness tracker's workload).
+  double kill_rate = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// One interval of a materialized observed stream (what sim/hostile and
+/// the conformance harness already produce).
+struct ObservedInterval {
+  Snapshot positions;  ///< every device's claim at k
+  DeviceSet abnormal;  ///< devices whose a_k flag fires at k
+};
+
+/// Flattens intervals 1..stream.size() into a faulted delivery schedule.
+/// In-order exactly-once is faults == DeliveryFaults{} (all zeros). Each
+/// device emits one report per interval it is alive, arrival_seq == k
+/// (per-device monotone by construction). `killed_from`, when non-null,
+/// receives for every device the interval its source died at (UINT64_MAX
+/// if it survived).
+[[nodiscard]] std::vector<QosReport> delivery_schedule(
+    const std::vector<ObservedInterval>& stream, const DeliveryFaults& faults,
+    std::vector<std::uint64_t>* killed_from = nullptr);
+
+}  // namespace acn

@@ -1,0 +1,215 @@
+// Unit tests for the ingest building blocks: StagingFrame's commutative
+// last-write-wins rule, the LivenessTracker retry ladder, and the
+// OverloadController's two verdict-safety-aware sheds.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ingest/liveness.hpp"
+#include "ingest/overload.hpp"
+#include "ingest/staging.hpp"
+
+namespace acn {
+namespace {
+
+QosReport make_report(GatewayKey device, std::uint64_t interval, double x,
+                      std::uint64_t seq, bool abnormal = false) {
+  QosReport report;
+  report.device = device;
+  report.interval = interval;
+  report.claim = Point{x, x};
+  report.abnormal = abnormal;
+  report.arrival_seq = seq;
+  return report;
+}
+
+TEST(StagingFrame, LastWriteWinsBySeq) {
+  StagingFrame frame;
+  EXPECT_EQ(frame.apply(make_report(7, 3, 0.1, 3)), StagingFrame::Apply::kAccepted);
+  // A correction with a higher seq replaces the claim.
+  EXPECT_EQ(frame.apply(make_report(7, 3, 0.2, 5)), StagingFrame::Apply::kSuperseded);
+  // An exact retransmission of the winner is a duplicate.
+  EXPECT_EQ(frame.apply(make_report(7, 3, 0.2, 5)), StagingFrame::Apply::kDuplicate);
+  // A straggler with an older seq loses, whatever its arrival order.
+  EXPECT_EQ(frame.apply(make_report(7, 3, 0.9, 4)), StagingFrame::Apply::kStale);
+
+  ASSERT_EQ(frame.device_count(), 1u);
+  EXPECT_EQ(frame.volume(), 4u);
+  const auto cell = frame.find(7);
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_EQ(cell->seq, 5u);
+  EXPECT_DOUBLE_EQ(cell->claim[0], 0.2);
+  EXPECT_FALSE(frame.find(8).has_value());
+}
+
+TEST(StagingFrame, StagedStateIsDeliveryOrderIndependent) {
+  std::vector<QosReport> reports;
+  for (GatewayKey d = 0; d < 10; ++d) {
+    reports.push_back(make_report(d, 1, 0.01 * static_cast<double>(d), 1));
+    reports.push_back(make_report(d, 1, 0.02 * static_cast<double>(d), 2,
+                                  d % 3 == 0));
+    reports.push_back(make_report(d, 1, 0.01 * static_cast<double>(d), 1));
+  }
+  StagingFrame forward;
+  for (const QosReport& r : reports) (void)forward.apply(r);
+  StagingFrame backward;
+  for (auto it = reports.rbegin(); it != reports.rend(); ++it) {
+    (void)backward.apply(*it);
+  }
+  const auto a = forward.sorted();
+  const auto b = backward.sorted();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first);
+    EXPECT_EQ(a[i].second.seq, b[i].second.seq);
+    EXPECT_EQ(a[i].second.flagged, b[i].second.flagged);
+    EXPECT_TRUE(a[i].second.claim == b[i].second.claim);
+  }
+}
+
+TEST(StagingFrame, SortedIsAscendingByKey) {
+  StagingFrame frame;
+  for (const GatewayKey d : {9ULL, 2ULL, 41ULL, 0ULL, 17ULL}) {
+    (void)frame.apply(make_report(d, 1, 0.5, 1));
+  }
+  const auto entries = frame.sorted();
+  ASSERT_EQ(entries.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(
+      entries.begin(), entries.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+}
+
+TEST(StagingFrame, DenseLaneSpillAndResetKeepSemantics) {
+  StagingFrame frame;
+  frame.configure(8, 2);  // keys < 8 take the flat lane; 41 and 100 spill
+  (void)frame.apply(make_report(5, 1, 0.5, 1));
+  (void)frame.apply(make_report(100, 1, 0.9, 1, true));
+  (void)frame.apply(make_report(2, 1, 0.2, 1));
+  (void)frame.apply(make_report(41, 1, 0.4, 1));
+  EXPECT_EQ(frame.device_count(), 4u);
+
+  // Seal order is ascending across both lanes.
+  const auto entries = frame.sorted();
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[0].first, 2u);
+  EXPECT_EQ(entries[1].first, 5u);
+  EXPECT_EQ(entries[2].first, 41u);
+  EXPECT_EQ(entries[3].first, 100u);
+  EXPECT_TRUE(entries[3].second.flagged);
+
+  // Last-write-wins works identically in the lane and the spill.
+  EXPECT_EQ(frame.apply(make_report(5, 1, 0.7, 3)),
+            StagingFrame::Apply::kSuperseded);
+  EXPECT_EQ(frame.apply(make_report(100, 1, 0.9, 1)),
+            StagingFrame::Apply::kDuplicate);
+  ASSERT_TRUE(frame.find(5).has_value());
+  EXPECT_EQ(frame.find(5)->seq, 3u);
+
+  // reset() empties the frame but keeps the lane (the pipeline pools
+  // sealed frames), so a reused frame behaves like a fresh one.
+  frame.shed_engaged = true;
+  frame.reset();
+  EXPECT_EQ(frame.device_count(), 0u);
+  EXPECT_EQ(frame.volume(), 0u);
+  EXPECT_FALSE(frame.shed_engaged);
+  EXPECT_FALSE(frame.find(5).has_value());
+  EXPECT_FALSE(frame.find(100).has_value());
+  EXPECT_EQ(frame.apply(make_report(5, 2, 0.1, 1)),
+            StagingFrame::Apply::kAccepted);
+  EXPECT_EQ(frame.device_count(), 1u);
+}
+
+TEST(LivenessTracker, DisabledTracksNothing) {
+  LivenessTracker tracker(LivenessConfig{});  // silent_intervals = 0: off
+  tracker.admitted(1, 0);
+  EXPECT_FALSE(tracker.enabled());
+  EXPECT_EQ(tracker.tracked_count(), 0u);
+  EXPECT_TRUE(tracker.sealed(5).empty());
+}
+
+TEST(LivenessTracker, RetryLadderThenExpiry) {
+  LivenessTracker tracker(LivenessConfig{
+      .silent_intervals = 1, .retry_backoff = 2, .max_retries = 3});
+  tracker.admitted(42, 0);
+
+  // Seal 1: first threshold crossing -> suspect, probe scheduled at 3.
+  EXPECT_TRUE(tracker.sealed(1).empty());
+  EXPECT_EQ(tracker.suspect_count(), 1u);
+  // Seal 2: probe not due yet.
+  EXPECT_TRUE(tracker.sealed(2).empty());
+  // Seal 3: retry 1 consumed, next probe at 3 + 4.
+  EXPECT_TRUE(tracker.sealed(3).empty());
+  for (std::uint64_t k = 4; k <= 6; ++k) EXPECT_TRUE(tracker.sealed(k).empty());
+  // Seal 7: retry 2 consumed, next probe at 7 + 8.
+  EXPECT_TRUE(tracker.sealed(7).empty());
+  for (std::uint64_t k = 8; k <= 14; ++k) {
+    EXPECT_TRUE(tracker.sealed(k).empty()) << "interval " << k;
+  }
+  // Seal 15: ladder exhausted.
+  const std::vector<GatewayKey> expired = tracker.sealed(15);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired.front(), 42u);
+  // The tracker never retires on its own; the caller forgets explicitly.
+  tracker.forget(42);
+  EXPECT_EQ(tracker.tracked_count(), 0u);
+  EXPECT_EQ(tracker.suspect_count(), 0u);
+}
+
+TEST(LivenessTracker, ReportRevivesSuspect) {
+  LivenessTracker tracker(LivenessConfig{
+      .silent_intervals = 1, .retry_backoff = 1, .max_retries = 1});
+  tracker.admitted(9, 0);
+  EXPECT_TRUE(tracker.sealed(1).empty());  // suspect now
+  EXPECT_EQ(tracker.suspect_count(), 1u);
+  EXPECT_TRUE(tracker.reported(9, 2));  // revived
+  EXPECT_EQ(tracker.suspect_count(), 0u);
+  // The ladder restarts from scratch after a revival.
+  EXPECT_TRUE(tracker.sealed(3).empty());  // suspect again, probe at 4
+  const std::vector<GatewayKey> expired = tracker.sealed(4);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired.front(), 9u);
+}
+
+TEST(OverloadController, ShedEngagesOnlyPastThreshold) {
+  OverloadController controller(OverloadConfig{
+      .shed_claim_threshold = 100, .shed_sample_stride = 4});
+  // Below the threshold nothing is shed.
+  for (GatewayKey d = 0; d < 50; ++d) {
+    EXPECT_FALSE(controller.shed_claim(d, 1, 99));
+  }
+  // Past it, roughly 1 in stride survives and the decision is a pure
+  // function of (device, interval) — delivery order cannot matter.
+  std::size_t kept = 0;
+  for (GatewayKey d = 0; d < 1000; ++d) {
+    const bool shed = controller.shed_claim(d, 7, 100);
+    EXPECT_EQ(shed, controller.shed_claim(d, 7, 5000));
+    if (!shed) ++kept;
+  }
+  EXPECT_GT(kept, 150u);
+  EXPECT_LT(kept, 350u);
+}
+
+TEST(OverloadController, DeferSelectsExactlyTheIsolatedFlagged) {
+  OverloadController controller(OverloadConfig{.defer_abnormal_cap = 3});
+  const double window = 0.06;  // 2r with r = 0.03
+  // Two clusters within the window, two loners far from everything.
+  const std::vector<Point> claims = {
+      Point{0.10, 0.10}, Point{0.12, 0.10},  // cluster A (indices 0, 1)
+      Point{0.90, 0.90},                     // loner (index 2)
+      Point{0.50, 0.50}, Point{0.50, 0.54},  // cluster B (indices 3, 4)
+      Point{0.10, 0.90},                     // loner (index 5)
+  };
+  const std::vector<std::size_t> deferred =
+      controller.defer_candidates(claims, window);
+  EXPECT_EQ(deferred, (std::vector<std::size_t>{2, 5}));
+}
+
+TEST(OverloadController, DeferDisengagedAtOrBelowCap) {
+  OverloadController controller(OverloadConfig{.defer_abnormal_cap = 6});
+  const std::vector<Point> claims = {Point{0.1, 0.1}, Point{0.9, 0.9}};
+  EXPECT_TRUE(controller.defer_candidates(claims, 0.06).empty());
+}
+
+}  // namespace
+}  // namespace acn

@@ -111,6 +111,22 @@ TEST(EpisodeTrackerTest, CloseForcesOneDeviceOut) {
   EXPECT_EQ(tracker.closed()[1].final_verdict(), AnomalyClass::kIsolated);
 }
 
+// Regression: a force-close followed by any later close path — a second
+// close(), the quiet-streak expiry, or the end-of-run flush — must never
+// record the same episode twice.
+TEST(EpisodeTrackerTest, DoubleCloseNeverDuplicatesAnEpisode) {
+  EpisodeTracker tracker(2);
+  tracker.observe(0, {{3, AnomalyClass::kMassive}});
+  tracker.close(3);   // retire path
+  tracker.close(3);   // late force-close replays
+  ASSERT_EQ(tracker.closed().size(), 1u);
+  tracker.observe(1, {});
+  tracker.observe(2, {});  // quiet expiry finds nothing left to close
+  tracker.flush();         // neither does the end-of-run flush
+  EXPECT_EQ(tracker.closed().size(), 1u);
+  EXPECT_EQ(tracker.open_count(), 0u);
+}
+
 TEST(EpisodeTrackerTest, GapBeyondQuietToleranceSplitsEpisodes) {
   EpisodeTracker tracker(2);
   tracker.observe(0, {{4, AnomalyClass::kUnresolved}});

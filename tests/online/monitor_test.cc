@@ -162,6 +162,39 @@ TEST(OnlineMonitorTest, RosterChurnFrontDoor) {
   EXPECT_EQ(monitor.roster().active_count(), 6u);
 }
 
+// Regression: an explicit retirement followed by a late force-close of the
+// same gateway (operator removal racing the ingestion layer's liveness
+// expiry) must be idempotent — one parked slot, one closed episode, no
+// throw. A recycled slot's new occupant must be untouched by the replay.
+TEST(OnlineMonitorTest, RetireIsIdempotentUnderLateForceClose) {
+  auto config = monitor_config();
+  config.roster_capacity = 3;
+  config.roster_dim = 1;
+  OnlineMonitor monitor(config);
+  (void)monitor.admit(1, Point{0.90});
+  (void)monitor.admit(2, Point{0.91});
+  (void)monitor.admit(3, Point{0.50});
+  (void)monitor.close_interval({});
+  monitor.report(3, Point{0.10});
+  const std::vector<GatewayKey> abnormal = {3};
+  (void)monitor.close_interval(abnormal);  // gateway 3 opens an episode
+
+  monitor.retire(3);
+  ASSERT_EQ(monitor.episodes().closed().size(), 1u);
+  monitor.retire(3);  // late force-close replays: no-op
+  monitor.retire(99);  // never admitted: equally a no-op
+  EXPECT_EQ(monitor.episodes().closed().size(), 1u);
+  EXPECT_EQ(monitor.roster().active_count(), 2u);
+
+  // The slot recycles; the departed gateway's late force-close must not
+  // close the NEW occupant's episode or evict it.
+  (void)monitor.admit(4, Point{0.80});
+  monitor.retire(3);
+  EXPECT_TRUE(monitor.roster().active(4));
+  EXPECT_EQ(monitor.episodes().closed().size(), 1u);
+  EXPECT_EQ(monitor.roster().active_count(), 3u);
+}
+
 TEST(OnlineMonitorTest, RosterCallsThrowInFixedFleetMode) {
   OnlineMonitor monitor(monitor_config());
   EXPECT_THROW((void)monitor.admit(1, Point{0.1}), std::logic_error);

@@ -80,6 +80,47 @@ TEST(FleetRoster, RecycledSlotIsIneligibleInItsSpliceInterval) {
   EXPECT_EQ(roster.abnormal_slots(keys), DeviceSet({0}));
 }
 
+// Retire + admit inside ONE interval: FIFO recycling must hand the new
+// gateways the just-vacated slots in retirement order, and every recycled
+// slot must be splice-ineligible until the interval closes — even though
+// the retire and the admit happened with no end_interval() between them.
+TEST(FleetRoster, SameIntervalRetireAdmitRecyclesFifoAndStaysIneligible) {
+  FleetRoster roster(3, 2);
+  (void)roster.admit(101, Point{0.1, 0.1});
+  (void)roster.admit(102, Point{0.2, 0.2});
+  (void)roster.admit(103, Point{0.3, 0.3});
+  roster.end_interval();
+
+  // Mid-interval churn: two gateways leave, two join, all before the close.
+  roster.retire(102);
+  roster.retire(101);
+  EXPECT_EQ(roster.admit(201, Point{0.7, 0.7}), 1u);  // 102's slot, FIFO
+  EXPECT_EQ(roster.admit(202, Point{0.8, 0.8}), 0u);  // then 101's
+  EXPECT_EQ(roster.active_count(), 3u);
+
+  // The snapshot already shows the recruits (an admit IS a report)...
+  const Snapshot mid = roster.snapshot();
+  EXPECT_EQ(mid[1], (Point{0.7, 0.7}));
+  EXPECT_EQ(mid[0], (Point{0.8, 0.8}));
+
+  // ...but their slots' apparent trajectories are splices (departed
+  // gateway's position -> recruit's position), so neither recruit may be
+  // abnormal this interval. The untouched gateway still can.
+  const std::vector<GatewayKey> keys = {201, 202, 103};
+  EXPECT_EQ(roster.abnormal_slots(keys), DeviceSet({2}));
+
+  // From the next interval on the recruits have real trajectories.
+  roster.end_interval();
+  EXPECT_EQ(roster.abnormal_slots(keys), DeviceSet({0, 1, 2}));
+
+  // A recruit retired in ITS join interval parks at its admit position and
+  // re-enters the FIFO queue at the back.
+  roster.retire(103);
+  roster.retire(201);
+  EXPECT_EQ(roster.admit(301, Point{0.5, 0.5}), 2u);  // 103 left first
+  EXPECT_EQ(roster.admit(302, Point{0.6, 0.6}), 1u);
+}
+
 TEST(FleetRoster, ConstructorValidates) {
   EXPECT_THROW(FleetRoster(0, 2), std::invalid_argument);
   EXPECT_THROW(FleetRoster(4, 0), std::invalid_argument);

@@ -45,7 +45,16 @@ json_escape() {
     awk 'NR>1 {printf "\\n"} {printf "%s", $0}'
 }
 
+# A failing bench must fail the whole invocation loudly and must NOT leave
+# a BENCH_*.json behind: a committed file with ok=false (or a half-written
+# one) looks like a recorded run and silently poisons later comparisons.
+# Each bench writes to a temp file that is only moved into place on success.
+tmp_file=
+cleanup() { [ -n "$tmp_file" ] && rm -f "$tmp_file"; }
+trap cleanup EXIT INT TERM
+
 status=0
+failed=
 for bin in "$@"; do
   [ -x "$bin" ] || continue
   name=$(basename "$bin")
@@ -55,18 +64,31 @@ for bin in "$@"; do
   if output=$("$bin" 2>&1); then
     ok=true
   else
+    bench_status=$?
     ok=false
     status=1
+    failed="$failed $name"
+    echo "error: $name exited with status $bench_status; $out_file NOT written" >&2
+    printf '%s\n' "$output" | sed 's/^/  | /' >&2
   fi
   elapsed=$(( $(date +%s) - start ))
-  {
-    printf '{\n'
-    printf '  "bench": "%s",\n' "$name"
-    printf '  "recorded_at": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
-    printf '  "elapsed_seconds": %s,\n' "$elapsed"
-    printf '  "ok": %s,\n' "$ok"
-    printf '  "stdout": "%s"\n' "$(printf '%s' "$output" | json_escape)"
-    printf '}\n'
-  } > "$out_file"
+  if [ "$ok" = true ]; then
+    tmp_file="$out_file.tmp.$$"
+    {
+      printf '{\n'
+      printf '  "bench": "%s",\n' "$name"
+      printf '  "recorded_at": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+      printf '  "elapsed_seconds": %s,\n' "$elapsed"
+      printf '  "ok": %s,\n' "$ok"
+      printf '  "stdout": "%s"\n' "$(printf '%s' "$output" | json_escape)"
+      printf '}\n'
+    } > "$tmp_file"
+    mv "$tmp_file" "$out_file"
+    tmp_file=
+  fi
 done
+
+if [ $status -ne 0 ]; then
+  echo "error: bench run failed:$failed (recorded files for failing benches were not written)" >&2
+fi
 exit $status
