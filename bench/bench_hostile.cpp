@@ -9,6 +9,11 @@
 //   --smoke  6 intervals per family instead of 40 (CI-friendly)
 //   --json   emit ONLY the machine-readable JSON payload
 //
+// A budget-sweep section reruns the superposition-bomb family (the family
+// built to blow through Corollary 8's search budget) across a node_budget
+// ladder, recording how verdict quality and ms/step move with the Theorem-7
+// search allowance — the data behind the default budget's calibration.
+//
 // A second section benches the DELIVERY layer: the clean-control stream is
 // flattened into per-device reports and replayed through the IngestPipeline
 // under in-order, reorder, duplicate-flood, and stall schedules, against a
@@ -59,7 +64,8 @@ double ratio(std::uint64_t hits, std::uint64_t total) {
   return total == 0 ? 1.0 : static_cast<double>(hits) / static_cast<double>(total);
 }
 
-FamilyResult run_family(const acn::HostileSpec& spec, int intervals) {
+FamilyResult run_family(const acn::HostileSpec& spec, int intervals,
+                        const acn::CharacterizeOptions& options = {}) {
   FamilyResult result;
   result.name = spec.name;
   result.violates = spec.violates;
@@ -84,7 +90,7 @@ FamilyResult run_family(const acn::HostileSpec& spec, int intervals) {
     const acn::StatePair state{acn::Snapshot(previous),
                                acn::Snapshot(step.observed.positions()),
                                step.abnormal};
-    acn::Characterizer characterizer(state, model);
+    acn::Characterizer characterizer(state, model, options);
     const std::vector<acn::Decision> decisions = characterizer.decide_all();
     result.total_ms += std::chrono::duration<double, std::milli>(
                            std::chrono::steady_clock::now() - start)
@@ -129,6 +135,36 @@ FamilyResult run_family(const acn::HostileSpec& spec, int intervals) {
     previous = step.observed.positions();
   }
   return result;
+}
+
+// --- Theorem-7 budget sweep ----------------------------------------------
+
+/// One superposition-bomb run at a fixed node_budget. The bomb chains
+/// overlapping dense motions so the Theorem-7 search is the cost driver:
+/// sweeping the budget ladder shows where verdicts stop changing (the knee
+/// where kBudgetExhausted dies out) and what each extra decade of search
+/// costs in ms/step.
+struct BudgetRow {
+  std::uint64_t node_budget = 0;
+  FamilyResult result;
+};
+
+std::vector<BudgetRow> run_budget_sweep(std::size_t n, std::uint64_t seed,
+                                        int intervals) {
+  constexpr std::uint64_t kLadder[] = {4'096, 16'384, 65'536, 262'144,
+                                       1'048'576};
+  std::vector<BudgetRow> rows;
+  for (const acn::HostileSpec& spec : acn::standard_hostile_suite(n, seed)) {
+    if (spec.name != "superposition-bomb") continue;
+    for (const std::uint64_t budget : kLadder) {
+      acn::CharacterizeOptions options;
+      options.node_budget = budget;
+      rows.push_back(BudgetRow{budget, run_family(spec, intervals, options)});
+    }
+    return rows;
+  }
+  std::fprintf(stderr, "superposition-bomb family missing from the suite\n");
+  std::exit(2);
 }
 
 // --- delivery-layer rows -------------------------------------------------
@@ -271,6 +307,7 @@ std::vector<DeliveryResult> run_delivery_section(std::size_t n,
 }
 
 void print_json(const std::vector<FamilyResult>& results,
+                const std::vector<BudgetRow>& budget_sweep,
                 const std::vector<DeliveryResult>& delivery, std::size_t n,
                 int intervals, std::uint64_t seed) {
   std::printf("{\"bench\":\"hostile\",\"n\":%zu,\"intervals\":%d,\"seed\":%llu,",
@@ -295,6 +332,22 @@ void print_json(const std::vector<FamilyResult>& results,
         ratio(r.unresolved_verdicts, r.decisions),
         ratio(r.budget_exhausted, r.decisions),
         static_cast<unsigned long long>(r.decisions),
+        r.intervals == 0 ? 0.0 : r.total_ms / static_cast<double>(r.intervals));
+  }
+  std::printf("],\"budget_sweep\":[");
+  for (std::size_t i = 0; i < budget_sweep.size(); ++i) {
+    const BudgetRow& row = budget_sweep[i];
+    const FamilyResult& r = row.result;
+    std::printf(
+        "%s{\"node_budget\":%llu,"
+        "\"unresolved_rate\":%.4f,\"budget_exhausted_rate\":%.4f,"
+        "\"isolated_recall\":%.4f,\"massive_recall\":%.4f,"
+        "\"ms_per_step\":%.3f}",
+        i == 0 ? "" : ",", static_cast<unsigned long long>(row.node_budget),
+        ratio(r.unresolved_verdicts, r.decisions),
+        ratio(r.budget_exhausted, r.decisions),
+        ratio(r.isolated_recalled, r.truly_isolated_flagged),
+        ratio(r.massive_recalled, r.truly_massive_flagged),
         r.intervals == 0 ? 0.0 : r.total_ms / static_cast<double>(r.intervals));
   }
   std::printf("],\"delivery\":[");
@@ -342,6 +395,7 @@ int main(int argc, char** argv) {
   for (const acn::HostileSpec& spec : acn::standard_hostile_suite(n, seed)) {
     results.push_back(run_family(spec, intervals));
   }
+  const std::vector<BudgetRow> budget_sweep = run_budget_sweep(n, seed, intervals);
   const std::vector<DeliveryResult> delivery =
       run_delivery_section(n, seed, intervals);
 
@@ -376,6 +430,29 @@ int main(int argc, char** argv) {
         "# recall because converging is not an r-consistent motion (R2).\n\n");
 
     std::printf(
+        "# Theorem-7 budget sweep over the superposition-bomb family (the\n"
+        "# worst-case search load): node_budget ladder vs verdict quality\n"
+        "# and cost. The knee where budget %% hits 0 is the budget the\n"
+        "# default must clear.\n\n");
+    acn::Table budget_table({"node_budget", "unres %", "budget %", "iso R",
+                             "mas R", "ms/step"});
+    for (const BudgetRow& row : budget_sweep) {
+      const FamilyResult& r = row.result;
+      budget_table.add_row(
+          {std::to_string(row.node_budget),
+           acn::fmt(100.0 * ratio(r.unresolved_verdicts, r.decisions), 1),
+           acn::fmt(100.0 * ratio(r.budget_exhausted, r.decisions), 1),
+           acn::fmt(ratio(r.isolated_recalled, r.truly_isolated_flagged), 3),
+           acn::fmt(ratio(r.massive_recalled, r.truly_massive_flagged), 3),
+           acn::fmt(r.intervals == 0
+                        ? 0.0
+                        : r.total_ms / static_cast<double>(r.intervals),
+                    3)});
+    }
+    budget_table.print();
+    std::printf("\n");
+
+    std::printf(
         "# Delivery layer (clean-control stream replayed through the ingest\n"
         "# pipeline; direct-feed = snapshots pushed straight to the monitor):\n\n");
     acn::Table delivery_table({"delivery", "ms/step", "overhead %", "decisions",
@@ -403,6 +480,6 @@ int main(int argc, char** argv) {
         "# unchanged); pipe-stall overruns it, so claims replay and the\n"
         "# stalled bursts land late_sealed — absorbed, counted, not fatal.\n\n");
   }
-  print_json(results, delivery, n, intervals, seed);
+  print_json(results, budget_sweep, delivery, n, intervals, seed);
   return 0;
 }

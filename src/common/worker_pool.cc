@@ -1,6 +1,7 @@
 #include "common/worker_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace acn {
 
@@ -24,6 +25,14 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::run_as_lane(std::unique_lock<std::mutex>& lock) {
+  // Lane slot claimed up front (under the lock) so the busy-time write
+  // below races nothing; the clock reads bracket the whole claim loop.
+  std::size_t lane_slot = 0;
+  if (lane_ms_ != nullptr) {
+    lane_slot = lane_ms_->size();
+    lane_ms_->push_back(0.0);
+  }
+  const auto lane_start = std::chrono::steady_clock::now();
   while (cursor_ < count_) {
     const std::size_t index = cursor_++;
     ++in_flight_;
@@ -37,6 +46,11 @@ void WorkerPool::run_as_lane(std::unique_lock<std::mutex>& lock) {
       cursor_ = count_;  // drain: no lane claims another index
     }
     --in_flight_;
+  }
+  if (lane_ms_ != nullptr) {
+    (*lane_ms_)[lane_slot] = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - lane_start)
+                                 .count();
   }
 }
 
@@ -58,14 +72,21 @@ void WorkerPool::worker_loop() {
 
 void WorkerPool::for_each(std::size_t count, std::size_t min_fanout,
                           const std::function<void(std::size_t)>& fn,
-                          unsigned max_lanes) {
+                          unsigned max_lanes, std::vector<double>* lane_ms) {
+  if (lane_ms != nullptr) lane_ms->clear();
   if (count == 0) return;
   unsigned lanes = parallelism();
   if (max_lanes != 0) lanes = std::min(lanes, max_lanes);
   lanes = static_cast<unsigned>(
       std::min<std::size_t>(lanes, count));  // never more lanes than items
   if (lanes <= 1 || count < min_fanout) {
+    const auto start = std::chrono::steady_clock::now();
     for (std::size_t index = 0; index < count; ++index) fn(index);
+    if (lane_ms != nullptr) {
+      lane_ms->push_back(std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count());
+    }
     return;
   }
 
@@ -78,6 +99,7 @@ void WorkerPool::for_each(std::size_t count, std::size_t min_fanout,
   cursor_ = 0;
   in_flight_ = 0;
   error_ = nullptr;
+  lane_ms_ = lane_ms;
   lanes_left_ = lanes - 1;
   ++generation_;
   work_cv_.notify_all();
@@ -88,6 +110,7 @@ void WorkerPool::for_each(std::size_t count, std::size_t min_fanout,
 
   fn_ = nullptr;
   lanes_left_ = 0;
+  lane_ms_ = nullptr;
   const std::exception_ptr error = error_;
   error_ = nullptr;
   lock.unlock();

@@ -51,9 +51,16 @@ class WorkerPool {
   /// call from several application threads at once (the seed's
   /// spawn-per-call paths were): sections on one pool serialize behind
   /// section_mutex_, they never interleave.
+  ///
+  /// When `lane_ms` is given it is resized to the number of lanes that ran
+  /// and filled with each lane's busy wall-clock milliseconds (first claim
+  /// to drain) — two clock reads per lane, so the skew instrumentation the
+  /// engine's FrameStats reports costs nothing on the per-index path. The
+  /// inline fallback reports one lane. Slot order is join order, which is
+  /// scheduling-dependent; consumers aggregate (max/mean), never index.
   void for_each(std::size_t count, std::size_t min_fanout,
                 const std::function<void(std::size_t)>& fn,
-                unsigned max_lanes = 0);
+                unsigned max_lanes = 0, std::vector<double>* lane_ms = nullptr);
 
   /// Process-wide pool at hardware concurrency, built on first use. The
   /// legacy *_parallel(threads) entry points cap it per call via max_lanes.
@@ -83,6 +90,7 @@ class WorkerPool {
   std::size_t cursor_ = 0;         ///< next index to claim (under mutex_)
   std::size_t in_flight_ = 0;      ///< indices currently executing
   std::exception_ptr error_;
+  std::vector<double>* lane_ms_ = nullptr;  ///< per-lane busy ms (optional)
 };
 
 }  // namespace acn

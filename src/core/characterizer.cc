@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <functional>
+#include <numeric>
 #include <stdexcept>
 
 #include "common/worker_pool.hpp"
@@ -384,16 +385,41 @@ std::vector<Decision> Characterizer::decide_all() {
 
 std::vector<Decision> Characterizer::decide_all_on(WorkerPool& pool,
                                                    std::size_t min_fanout,
-                                                   unsigned max_lanes) {
+                                                   unsigned max_lanes,
+                                                   std::vector<double>* lane_ms) {
   const DeviceSet& abnormal = plane_->state().abnormal();
   const std::size_t m = abnormal.size();
   std::vector<Decision> decisions(m);
-  // Each decision is a pure read of the shared plane into a private slot:
-  // any lane schedule yields bytes identical to decide_all().
+  // Costliest-first dispatch when the pool will actually engage: the shared
+  // cursor hands out indices in order, so without reordering one monster
+  // device (big dense family x big neighbourhood — the NSC search's input)
+  // drawn late serializes the whole tail behind a single lane. Sorting an
+  // index indirection by that cost proxy is classic LPT against skew. Each
+  // decision is a pure read of the shared plane into its own slot, so the
+  // bytes stay identical to decide_all() under any schedule or ordering.
+  std::vector<std::uint32_t> order;
+  const bool reorder = m >= min_fanout && max_lanes != 1 && pool.parallelism() > 1;
+  if (reorder) {
+    std::vector<std::uint64_t> cost(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      const DeviceId j = abnormal[i];
+      cost[i] = (1 + plane_->dense(j).size()) *
+                (1 + plane_->neighbourhood(j).size());
+    }
+    order.resize(m);
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return cost[a] > cost[b];
+                     });
+  }
   pool.for_each(
       m, min_fanout,
-      [&](std::size_t i) { decisions[i] = characterize_device(abnormal[i]); },
-      max_lanes);
+      [&](std::size_t i) {
+        const std::size_t slot = reorder ? order[i] : i;
+        decisions[slot] = characterize_device(abnormal[slot]);
+      },
+      max_lanes, lane_ms);
   return decisions;
 }
 

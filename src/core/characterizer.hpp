@@ -141,10 +141,15 @@ class Characterizer {
   [[nodiscard]] std::vector<Decision> decide_all_parallel(unsigned threads = 0);
 
   /// decide_all over a caller-owned pool (the streaming engine passes its
-  /// own); `min_fanout` is the |A_k| below which the loop runs inline.
-  [[nodiscard]] std::vector<Decision> decide_all_on(WorkerPool& pool,
-                                                    std::size_t min_fanout,
-                                                    unsigned max_lanes = 0);
+  /// own); `min_fanout` is the |A_k| below which the loop runs inline. When
+  /// the pool engages, devices are dispatched costliest-first (dense-family
+  /// x neighbourhood size proxy) so one expensive device drawn late cannot
+  /// serialize the tail; slots are written by device, so results never
+  /// depend on the ordering. `lane_ms`, when given, receives per-lane busy
+  /// times (see WorkerPool::for_each).
+  [[nodiscard]] std::vector<Decision> decide_all_on(
+      WorkerPool& pool, std::size_t min_fanout, unsigned max_lanes = 0,
+      std::vector<double>* lane_ms = nullptr);
 
   /// Characterizes every device of A_k and buckets them.
   [[nodiscard]] CharacterizationSets characterize_all();

@@ -21,18 +21,21 @@ void SnapshotRing::prime(Snapshot first) {
 }
 
 const std::vector<DeviceId>& SnapshotRing::advance(Snapshot next,
-                                                   DeviceSet abnormal) {
+                                                   DeviceSet abnormal,
+                                                   WorkerPool* pool,
+                                                   std::vector<double>* lane_ms) {
   if (!primed()) {
     throw std::logic_error("SnapshotRing::advance: prime() a snapshot first");
   }
-  state_->advance(std::move(next), std::move(abnormal), &moved_);
+  state_->advance(std::move(next), std::move(abnormal), &moved_, pool, lane_ms);
   return moved_;
 }
 
 FrameEngine::FrameEngine(Config config)
     : config_(config),
-      grid_(std::max(config.model.window(), kMinGridCell)),
       pool_(config.threads),
+      grid_(std::max(config.model.window(), kMinGridCell),
+            config.shards != 0 ? config.shards : pool_.parallelism()),
       source_(*this) {
   config_.model.validate();
 }
@@ -40,6 +43,8 @@ FrameEngine::FrameEngine(Config config)
 std::optional<FrameEngine::Result> FrameEngine::observe(Snapshot positions,
                                                         DeviceSet abnormal) {
   stats_ = {};
+  stats_.shards = grid_.shards();
+  std::vector<double> lane_scratch;
   if (!ring_.primed()) {
     // Priming snapshot: no previous state, nothing to characterize (any
     // abnormal ids are moot — there is no interval they fired in).
@@ -48,8 +53,9 @@ std::optional<FrameEngine::Result> FrameEngine::observe(Snapshot positions,
     abnormal_flag_.assign(ring_.state().n(), 0);
     stats_.state_ms = ms_since(t0);
     t0 = Clock::now();
-    grid_.rebuild(ring_.state());
+    grid_.rebuild(ring_.state(), &pool_, &lane_scratch);
     stats_.grid_ms = ms_since(t0);
+    stats_.grid_lanes = LaneBreakdown::of(lane_scratch);
     ++intervals_;
     return std::nullopt;
   }
@@ -60,32 +66,46 @@ std::optional<FrameEngine::Result> FrameEngine::observe(Snapshot positions,
   auto t0 = Clock::now();
   const DeviceSet previous_abnormal = ring_.state().abnormal();
   const std::vector<DeviceId>& moved =
-      ring_.advance(std::move(positions), std::move(abnormal));
+      ring_.advance(std::move(positions), std::move(abnormal), &pool_, &lane_scratch);
   const StatePair& state = ring_.state();
   for (const DeviceId j : previous_abnormal) abnormal_flag_[j] = 0;
   for (const DeviceId j : state.abnormal()) abnormal_flag_[j] = 1;
   stats_.state_ms = ms_since(t0);
+  stats_.state_lanes = LaneBreakdown::of(lane_scratch);
   stats_.moved = moved.size();
   stats_.abnormal = state.abnormal().size();
 
+  // Grid re-bucket in two steps: the serial halo exchange routes each
+  // move's bucket edits to the owner shards, then every shard drains its
+  // queue concurrently (disjoint maps — no locks).
   t0 = Clock::now();
-  grid_.apply(state, moved);
-  stats_.grid_ms = ms_since(t0);
+  grid_.stage(state, moved);
+  stats_.halo_ms = ms_since(t0);
+  const auto t_apply = Clock::now();
+  grid_.apply_staged(state, &pool_, &lane_scratch);
+  stats_.grid_ms = stats_.halo_ms + ms_since(t_apply);
+  stats_.grid_lanes = LaneBreakdown::of(lane_scratch);
 
-  // Plane over the 4r-closure of A_k: neighbourhoods come from the fleet
-  // grid masked to A_k, components fan out over the engine pool.
+  // Plane over the 4r-closure of A_k: neighbourhoods come from the sharded
+  // fleet grid masked to A_k (cross-shard halo reads are plain lookups into
+  // immutable neighbour maps), both build passes fan out over the pool.
   t0 = Clock::now();
+  PlaneBuildLanes plane_lanes;
   plane_.reset();
-  plane_.emplace(state, config_.model, source_, &pool_, config_.component_fanout);
+  plane_.emplace(state, config_.model, source_, &pool_, config_.component_fanout,
+                 &plane_lanes);
   stats_.plane_ms = ms_since(t0);
+  stats_.plane_query_lanes = LaneBreakdown::of(plane_lanes.query_lane_ms);
+  stats_.plane_enum_lanes = LaneBreakdown::of(plane_lanes.enumerate_lane_ms);
   stats_.components = plane_->counters().enumeration_calls;
   stats_.motions = plane_->motion_count();
 
   t0 = Clock::now();
   Result result;
   Characterizer characterizer(*plane_, config_.characterize);
-  result.decisions =
-      characterizer.decide_all_on(pool_, config_.characterize.parallel_grain);
+  result.decisions = characterizer.decide_all_on(
+      pool_, config_.characterize.parallel_grain, 0, &lane_scratch);
+  stats_.characterize_lanes = LaneBreakdown::of(lane_scratch);
   std::vector<DeviceId> isolated;
   std::vector<DeviceId> massive;
   std::vector<DeviceId> unresolved;

@@ -13,8 +13,13 @@
 //     move, and the joint/SoA columns are rewritten in place only where a
 //     trajectory changed — per-interval cost tracks |moved|, i.e. the
 //     devices errors displaced, not n;
-//   * FleetGrid is maintained incrementally: only devices whose grid cell
-//     key changed are re-bucketed;
+//   * the fleet grid is sharded spatially (ShardMap stripes of [0,1]^d,
+//     sized to the worker count) and maintained incrementally: only devices
+//     whose grid cell key changed are re-bucketed, via a serial
+//     halo-exchange pass routing each move's bucket edits to the owner
+//     shards' staging queues followed by a lock-free per-shard parallel
+//     apply; 4r queries read neighbour shards' between-interval-immutable
+//     maps directly;
 //   * the MotionPlane is built over exactly the 4r-closure of A_k — the
 //     plane covers A_k, each device's neighbourhood is the A_k-restricted
 //     2r-ball from the fleet grid, and every Theorem 5/6/7 decision reads
@@ -33,6 +38,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/device_set.hpp"
@@ -58,7 +64,11 @@ class SnapshotRing {
 
   /// Rolls to the next interval; returns the devices whose current
   /// position changed (the fleet grid's re-bucket set). Requires primed().
-  const std::vector<DeviceId>& advance(Snapshot next, DeviceSet abnormal);
+  /// `pool`/`lane_ms` pass through to StatePair::advance (chunk-parallel
+  /// roll, byte-identical for every pool size).
+  const std::vector<DeviceId>& advance(Snapshot next, DeviceSet abnormal,
+                                       WorkerPool* pool = nullptr,
+                                       std::vector<double>* lane_ms = nullptr);
 
   /// Devices moved by the latest advance.
   [[nodiscard]] std::span<const DeviceId> moved() const noexcept { return moved_; }
@@ -70,17 +80,52 @@ class SnapshotRing {
   std::vector<DeviceId> moved_;
 };
 
+/// Busy-time aggregate over the worker lanes of one parallel phase. The
+/// max/mean gap is the phase's skew: max is the wall-clock the phase paid,
+/// mean is what perfect balance would have paid — bench_characterize_all
+/// prints both per phase so load imbalance shows up as a number, not a
+/// hunch. lanes == 0 means the phase ran without a fan-out this interval.
+struct LaneBreakdown {
+  double max_ms = 0.0;
+  double mean_ms = 0.0;
+  unsigned lanes = 0;
+
+  [[nodiscard]] static LaneBreakdown of(std::span<const double> lane_ms) noexcept {
+    LaneBreakdown out;
+    out.lanes = static_cast<unsigned>(lane_ms.size());
+    if (lane_ms.empty()) return out;
+    double total = 0.0;
+    for (const double ms : lane_ms) {
+      total += ms;
+      if (ms > out.max_ms) out.max_ms = ms;
+    }
+    out.mean_ms = total / static_cast<double>(lane_ms.size());
+    return out;
+  }
+};
+
 /// Wall-clock phase breakdown of one engine interval, in milliseconds —
 /// what bench_characterize_all reports per phase.
 struct FrameStats {
   double state_ms = 0.0;         ///< ring roll (joint/SoA in-place update)
-  double grid_ms = 0.0;          ///< fleet-grid re-bucketing
+  double grid_ms = 0.0;          ///< grid re-bucketing (staging + apply)
   double plane_ms = 0.0;         ///< motion-plane build over the 4r-closure
   double characterize_ms = 0.0;  ///< Theorems 5-7 over A_k
+  /// The halo-exchange slice of grid_ms: the serial pass routing each move
+  /// to its old/new owner shards' staging queues.
+  double halo_ms = 0.0;
   std::size_t moved = 0;         ///< devices whose position changed
   std::size_t abnormal = 0;      ///< |A_k|
   std::size_t components = 0;    ///< 2r-interaction components enumerated
   std::size_t motions = 0;       ///< distinct maximal motions interned
+  unsigned shards = 0;           ///< spatial shards of the fleet grid
+
+  // Per-lane skew of each fan-out phase (see LaneBreakdown).
+  LaneBreakdown state_lanes;        ///< ring-roll chunk fan-out
+  LaneBreakdown grid_lanes;         ///< per-shard staged-op application
+  LaneBreakdown plane_query_lanes;  ///< plane pass 1 (neighbourhood queries)
+  LaneBreakdown plane_enum_lanes;   ///< plane pass 2 (component enumeration)
+  LaneBreakdown characterize_lanes; ///< per-device decision fan-out
 };
 
 /// A closed interval as handed down from the ingestion layer: the
@@ -106,12 +151,18 @@ class FrameEngine {
     /// is the |A_k| below which the characterization fan-out runs inline
     /// (the one threshold, shared with the standalone batch APIs).
     CharacterizeOptions characterize;
-    /// Lanes for the per-component plane build and the per-device
-    /// characterization fan-out: 1 = inline serial (default), 0 = hardware
-    /// concurrency. Verdicts are identical for every value.
+    /// Lanes for every per-interval fan-out (ring roll, staged grid apply,
+    /// plane build, per-device characterization): 1 = inline serial
+    /// (default), 0 = hardware concurrency. Verdicts are identical for
+    /// every value.
     unsigned threads = 1;
     /// Component count below which the plane build runs inline.
     std::size_t component_fanout = 2;
+    /// Spatial shards of the fleet grid (ShardMap stripes): 0 sizes the
+    /// partition to the worker count (the per-core-cell default), any other
+    /// value pins it. Verdicts are byte-identical for every shard count —
+    /// sharding moves bucket ownership, never query results.
+    unsigned shards = 0;
   };
 
   /// Per-interval verdicts (absent for the priming snapshot).
@@ -171,8 +222,8 @@ class FrameEngine {
 
   Config config_;
   SnapshotRing ring_;
-  FleetGrid grid_;
-  WorkerPool pool_;
+  WorkerPool pool_;          ///< before grid_: its lane count sizes the shards
+  ShardedFleetGrid grid_;
   AbnormalSource source_;
   std::vector<std::uint8_t> abnormal_flag_;  ///< byte per device, A_k mask
   std::optional<MotionPlane> plane_;         ///< rebuilt per interval

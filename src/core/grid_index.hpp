@@ -18,9 +18,12 @@
 #include <vector>
 
 #include "common/device_set.hpp"
+#include "core/shard_map.hpp"
 #include "core/state.hpp"
 
 namespace acn {
+
+class WorkerPool;
 
 /// Floor for grid cell sides so the index degenerates gracefully when the
 /// consistency window 2r approaches 0. Shared by every 2r grid build
@@ -114,6 +117,89 @@ class FleetGrid {
   double cell_;
   std::size_t device_count_ = 0;
   std::unordered_map<std::uint64_t, std::vector<DeviceId>> cells_;
+};
+
+/// FleetGrid partitioned across spatial shards (ShardMap stripes over the
+/// first-dimension cell index). Each shard owns a private cell map, so the
+/// per-interval re-bucketing splits into two phases the engine can time and
+/// parallelize separately:
+///
+///   stage(state, moved)        — the HALO-EXCHANGE step: one serial
+///     O(|moved|) routing pass that turns each move into a remove op for the
+///     old position's owner shard and an insert op for the new one's (cells
+///     unchanged are dropped, exactly like FleetGrid::apply). Crossing a
+///     stripe boundary is just two ops landing on different shards.
+///   apply_staged(state, pool)  — each shard applies its own op queue; the
+///     writes are disjoint by construction (a shard only ever touches its
+///     private map), so the fan-out takes no locks. Ops apply in routing
+///     order, which is the serial `moved` order — bucket contents come out
+///     byte-identical to an unsharded FleetGrid fed the same rolls.
+///
+/// Queries resolve each scanned cell to its owner shard by pure ShardMap
+/// arithmetic and read the neighbour shard's map directly — between
+/// apply_staged and the next stage all shard maps are immutable, so these
+/// cross-shard reads are the "read-only neighbour snapshot" side of the halo
+/// exchange and need no synchronization. Results are sorted by id and
+/// byte-identical to FleetGrid::within_into for every shard count.
+class ShardedFleetGrid {
+ public:
+  /// Requires cell > 0; shards == 0 collapses to 1 (still valid, still
+  /// byte-identical — sharding never changes results, only layout).
+  ShardedFleetGrid(double cell, unsigned shards);
+
+  /// Indexes every device of `state` at its current position: one serial
+  /// routing pass, then per-shard map builds fanned out on `pool`.
+  void rebuild(const StatePair& state, WorkerPool* pool = nullptr,
+               std::vector<double>* lane_ms = nullptr);
+
+  /// Routes the moves of one StatePair::advance into per-shard op queues
+  /// (see class comment). Same contract as FleetGrid::apply: call exactly
+  /// once per roll with that roll's `moved` output, before apply_staged.
+  void stage(const StatePair& state, std::span<const DeviceId> moved);
+
+  /// Applies every staged op queue, one shard per work item. Queues are
+  /// left empty. Queries are only valid between apply_staged and the next
+  /// stage.
+  void apply_staged(const StatePair& state, WorkerPool* pool = nullptr,
+                    std::vector<double>* lane_ms = nullptr);
+
+  /// Churn paths, same contracts as FleetGrid::insert/remove; the op is
+  /// routed to the owner shard and applied immediately (churn happens at
+  /// interval boundaries, outside the staged window).
+  void insert(const StatePair& state, DeviceId j);
+  void remove(const StatePair& state, DeviceId j);
+
+  /// Same query contract as FleetGrid::within_into: members within joint
+  /// Chebyshev `radius` of j, sorted by id, into a caller-owned buffer.
+  void within_into(const StatePair& state, DeviceId j, double radius,
+                   std::span<const std::uint8_t> member_flag,
+                   std::vector<DeviceId>& out) const;
+
+  [[nodiscard]] std::size_t device_count() const noexcept { return device_count_; }
+  [[nodiscard]] double cell() const noexcept { return map_.cell(); }
+  [[nodiscard]] const ShardMap& shard_map() const noexcept { return map_; }
+  [[nodiscard]] unsigned shards() const noexcept { return map_.shards(); }
+  /// Ops routed by the last stage() still awaiting apply_staged().
+  [[nodiscard]] std::size_t staged_op_count() const noexcept;
+
+ private:
+  /// One routed bucket edit: insert (or remove) `id` at cell `key` of the
+  /// owning shard.
+  struct Op {
+    std::uint64_t key;
+    DeviceId id;
+    bool is_insert;
+  };
+  struct Shard {
+    std::unordered_map<std::uint64_t, std::vector<DeviceId>> cells;
+    std::vector<Op> staged;
+  };
+
+  void apply_op(Shard& shard, const Op& op);
+
+  ShardMap map_;
+  std::size_t device_count_ = 0;
+  std::vector<Shard> shards_;
 };
 
 }  // namespace acn

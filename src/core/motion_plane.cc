@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
 
@@ -150,15 +151,17 @@ void slide(const StatePair& state, double window, std::span<const DeviceId> acti
   }
 }
 
-/// Core of enumerate_maximal_windows over reusable scratch: fills
-/// scratch.maximal with the store indices of the inclusion-maximal covers,
-/// in lexicographic (by members) order — the project-wide family order.
-void enumerate_into(const StatePair& state, const Params& params,
-                    std::span<const DeviceId> pool_in,
-                    std::optional<DeviceId> anchor, OracleCounters* counters,
-                    EnumerationScratch& scratch) {
+/// Shared head of the enumeration paths: fills scratch.pool (anchored
+/// filter applied, sorted), sizes the per-depth buffers, clears the cover
+/// store, and computes the widest-span-first dimension order. Returns the
+/// anchor's joint coordinates (into `anchor_coords`) or nullptr. The
+/// dimension order is left untouched when the pool comes up empty.
+const double* prepare_pool(const StatePair& state, const Params& params,
+                           std::span<const DeviceId> pool_in,
+                           std::optional<DeviceId> anchor,
+                           std::array<double, Point::kMaxDim>& anchor_coords,
+                           EnumerationScratch& scratch) {
   const double window = params.window();
-  std::array<double, Point::kMaxDim> anchor_coords{};
   const double* anchor_joint = nullptr;
 
   auto& pool = scratch.pool;
@@ -184,7 +187,7 @@ void enumerate_into(const StatePair& state, const Params& params,
   }
   scratch.covers.clear();
   scratch.maximal.clear();
-  if (pool.empty()) return;
+  if (pool.empty()) return anchor_joint;
 
   // Visit dimensions widest span first (see EnumerationScratch::dim_order).
   // Ties break toward the lower dimension index, keeping the order — and
@@ -205,15 +208,21 @@ void enumerate_into(const StatePair& state, const Params& params,
   std::stable_sort(scratch.dim_order.begin(),
                    scratch.dim_order.begin() + state.joint_dim(),
                    [&](std::size_t a, std::size_t b) { return span[a] > span[b]; });
+  return anchor_joint;
+}
 
-  slide(state, window, pool, 0, anchor_joint, scratch, counters);
-
+/// Shared tail: reduces scratch.covers to the inclusion-maximal covers,
+/// leaving their store indices in scratch.maximal in lexicographic (by
+/// members) order — the project-wide family order. Content-based throughout
+/// (the covers are distinct after dedup, so both sorts are strict total
+/// orders), which is what lets the split-task path below feed it a store
+/// assembled from per-task slices and still get the serial result.
+void select_maximal(const CoverStore& covers, EnumerationScratch& scratch) {
   // Keep the inclusion-maximal covers. Scanning in size-descending order, a
   // cover with any strict superset in the store also has one among the
   // already-accepted maximal covers (subset is transitive and equal-size
   // containment is equality, impossible after dedup), so each cover is
   // checked against the few survivors only.
-  const CoverStore& covers = scratch.covers;
   auto& order = scratch.order;
   order.resize(covers.count());
   std::iota(order.begin(), order.end(), 0u);
@@ -241,6 +250,59 @@ void enumerate_into(const StatePair& state, const Params& params,
     const auto rb = covers.run(b);
     return std::lexicographical_compare(ra.begin(), ra.end(), rb.begin(), rb.end());
   });
+}
+
+/// Core of enumerate_maximal_windows over reusable scratch: fills
+/// scratch.maximal with the store indices of the inclusion-maximal covers,
+/// in lexicographic (by members) order.
+void enumerate_into(const StatePair& state, const Params& params,
+                    std::span<const DeviceId> pool_in,
+                    std::optional<DeviceId> anchor, OracleCounters* counters,
+                    EnumerationScratch& scratch) {
+  std::array<double, Point::kMaxDim> anchor_coords{};
+  const double* anchor_joint =
+      prepare_pool(state, params, pool_in, anchor, anchor_coords, scratch);
+  if (scratch.pool.empty()) return;
+  slide(state, params.window(), scratch.pool, 0, anchor_joint, scratch, counters);
+  select_maximal(scratch.covers, scratch);
+}
+
+/// Depth-0 slice of the unanchored slide for one split task: replays the
+/// serial slide's top level — same edge list, same per-edge counters, same
+/// subtree recursion — but only over the task's [begin, end) share of the
+/// edge list, leaving the task's covers in scratch.covers (per-task dedup
+/// only; the cross-task dedup happens at merge). Preconditions: prepare_pool
+/// ran (unanchored, pool non-empty) and the depth-0 tight-cluster cut does
+/// NOT fire (the split planner never splits tight components), so the
+/// serial slide would have entered this exact edge loop. Summed over a
+/// task partition of the edge list, the counters reproduce the serial
+/// enumeration's exactly.
+void slide_edge_slice(const StatePair& state, double window,
+                      std::size_t task_index, std::size_t task_count,
+                      EnumerationScratch& scratch, OracleCounters* counters) {
+  const std::size_t dim = scratch.dim_order[0];
+  const double* col = state.joint_col(dim);
+  auto& edges = scratch.edges[0];
+  edges.clear();
+  for (const DeviceId id : scratch.pool) edges.push_back(col[id]);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  const std::size_t edge_count = edges.size();
+  const std::size_t begin = task_index * edge_count / task_count;
+  const std::size_t end = (task_index + 1) * edge_count / task_count;
+  auto& next = scratch.next[0];
+  for (std::size_t e = begin; e < end; ++e) {
+    if (counters != nullptr) ++counters->windows_explored;
+    const double lower = edges[e];
+    const double upper = lower + window;
+    next.clear();
+    for (const DeviceId id : scratch.pool) {
+      const double x = col[id];
+      if (x >= lower && x <= upper) next.push_back(id);
+    }
+    slide(state, window, next, 1, nullptr, scratch, counters);
+  }
 }
 
 }  // namespace
@@ -284,32 +346,65 @@ MotionPlane::MotionPlane(const StatePair& state, Params params)
   params_.validate();
   grid_.emplace(state, state.abnormal(), std::max(params_.window(), kMinGridCell));
   const GridSource source(*grid_);
-  build(source, nullptr, 0);
+  build(source, nullptr, 0, nullptr);
 }
 
 MotionPlane::MotionPlane(const StatePair& state, Params params,
                          const NeighbourSource& source, WorkerPool* pool,
-                         std::size_t component_fanout)
+                         std::size_t component_fanout, PlaneBuildLanes* lanes)
     : state_(state), params_(params), source_(&source) {
   params_.validate();
-  build(source, pool, component_fanout);
+  build(source, pool, component_fanout, lanes);
 }
 
 void MotionPlane::build(const NeighbourSource& source, WorkerPool* pool,
-                        std::size_t component_fanout) {
+                        std::size_t component_fanout, PlaneBuildLanes* lanes) {
   const DeviceSet& abnormal = state_.abnormal();
   ids_.assign(abnormal.begin(), abnormal.end());
   const std::size_t m = ids_.size();
 
   // Pass 1: neighbourhoods, one grid query per device into the flat arena.
+  // With a pool, contiguous rank chunks query concurrently (the sources are
+  // immutable during the build, so concurrent const queries are safe) into
+  // per-chunk arenas concatenated in rank order — the arena and offsets come
+  // out byte-identical to the serial pass.
+  counters_.neighbourhood_queries += m;
   nbr_offsets_.reserve(m + 1);
   nbr_offsets_.push_back(0);
-  std::vector<DeviceId> nbr_scratch;
-  for (const DeviceId j : ids_) {
-    ++counters_.neighbourhood_queries;
-    source.within_into(j, params_.window(), nbr_scratch);
-    nbr_arena_.insert(nbr_arena_.end(), nbr_scratch.begin(), nbr_scratch.end());
-    nbr_offsets_.push_back(static_cast<std::uint32_t>(nbr_arena_.size()));
+  constexpr std::size_t kQueryChunk = 256;
+  if (pool != nullptr && m >= 2 * kQueryChunk) {
+    const std::size_t chunks = (m + kQueryChunk - 1) / kQueryChunk;
+    std::vector<std::vector<DeviceId>> chunk_arena(chunks);
+    pool->for_each(
+        chunks, 2,
+        [&](std::size_t c) {
+          thread_local std::vector<DeviceId> nbr_scratch;
+          const std::size_t begin = c * kQueryChunk;
+          const std::size_t end = std::min(m, begin + kQueryChunk);
+          std::vector<DeviceId>& arena = chunk_arena[c];
+          for (std::size_t rank = begin; rank < end; ++rank) {
+            source.within_into(ids_[rank], params_.window(), nbr_scratch);
+            arena.push_back(static_cast<DeviceId>(nbr_scratch.size()));
+            arena.insert(arena.end(), nbr_scratch.begin(), nbr_scratch.end());
+          }
+        },
+        0, lanes != nullptr ? &lanes->query_lane_ms : nullptr);
+    for (const std::vector<DeviceId>& arena : chunk_arena) {
+      for (std::size_t i = 0; i < arena.size();) {
+        const std::size_t len = arena[i++];
+        nbr_arena_.insert(nbr_arena_.end(), arena.begin() + static_cast<std::ptrdiff_t>(i),
+                          arena.begin() + static_cast<std::ptrdiff_t>(i + len));
+        nbr_offsets_.push_back(static_cast<std::uint32_t>(nbr_arena_.size()));
+        i += len;
+      }
+    }
+  } else {
+    std::vector<DeviceId> nbr_scratch;
+    for (const DeviceId j : ids_) {
+      source.within_into(j, params_.window(), nbr_scratch);
+      nbr_arena_.insert(nbr_arena_.end(), nbr_scratch.begin(), nbr_scratch.end());
+      nbr_offsets_.push_back(static_cast<std::uint32_t>(nbr_arena_.size()));
+    }
   }
 
   // Pass 2: connected components of the 2r-interaction graph (edges are the
@@ -328,63 +423,170 @@ void MotionPlane::build(const NeighbourSource& source, WorkerPool* pool,
       });
   const std::size_t comp_count = components.size();
 
-  // Family enumeration per component. With a worker pool, components are
-  // enumerated concurrently into private buffers (each lane has its own
-  // scratch) and merged below in component-discovery order — the interned
-  // ids, family orders, and counters come out identical to the serial walk
-  // for every pool size.
-  struct ComponentFamily {
-    std::vector<DeviceId> arena;           ///< concatenated maximal runs
+  // Family enumeration, planned as a flat task list. Most components are
+  // one task each (the full enumerate + maximality-select, exactly the
+  // serial walk). A component that would monopolize a lane — estimated
+  // enumeration cost = member count x per-dimension window-span sum — and
+  // is NOT a tight cluster (tight ones collapse to one bounding-box scan)
+  // is split across several tasks by top-level edge ranges; its maximality
+  // selection then runs at merge over the task covers. The flat list keeps
+  // the fan-out a single for_each (nested pool sections would deadlock on
+  // section_mutex_), and the split decision reads only the component data,
+  // never the pool — so every pool size plans, and produces, the same
+  // thing. Tasks are DISPATCHED costliest-first (classic LPT against skew)
+  // but write private slots merged in plan order, so scheduling cannot leak
+  // into results.
+  const double window = params_.window();
+  struct EnumTask {
+    std::uint32_t comp;
+    std::uint32_t task_index;
+    std::uint32_t task_count;
+    std::uint64_t cost;  ///< dispatch-priority estimate for this task
+  };
+  struct TaskResult {
+    std::vector<DeviceId> arena;            ///< concatenated runs
     std::vector<std::uint32_t> offsets{0};  ///< run boundaries
     OracleCounters counters;
+    bool final_family = false;  ///< runs are the finished family (1-task path)
   };
-  std::vector<ComponentFamily> families(comp_count);
-  const auto enumerate_component = [&](std::size_t ci) {
-    // One scratch per lane, reused across components AND planes (CoverStore
-    // and the edge/next vectors keep their capacity; contents are cleared
-    // by enumerate_into). Lanes are distinct threads, so thread_local is
-    // exactly per-lane; the serial loop is one lane reusing one scratch.
+  constexpr std::uint64_t kSplitGrain = 4096;
+  constexpr std::uint32_t kMaxTasksPerComponent = 32;
+  std::vector<EnumTask> tasks;
+  tasks.reserve(comp_count);
+  std::vector<std::uint32_t> comp_task_begin(comp_count + 1, 0);
+  for (std::size_t ci = 0; ci < comp_count; ++ci) {
+    const std::vector<DeviceId>& comp = components[ci];
+    std::uint64_t span_weight = 0;
+    bool tight = true;
+    for (std::size_t t = 0; t < state_.joint_dim(); ++t) {
+      const double* col = state_.joint_col(t);
+      double lo = col[comp[0]];
+      double hi = lo;
+      for (const DeviceId id : comp) {
+        const double x = col[id];
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+      }
+      const double span = hi - lo;
+      if (span > window) tight = false;
+      span_weight +=
+          std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(span / window)));
+    }
+    const std::uint64_t cost = comp.size() * span_weight;
+    std::uint32_t task_count = 1;
+    if (pool != nullptr && !tight && cost >= 2 * kSplitGrain) {
+      task_count = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+          std::min<std::uint64_t>(cost / kSplitGrain, kMaxTasksPerComponent),
+          comp.size()));
+    }
+    comp_task_begin[ci] = static_cast<std::uint32_t>(tasks.size());
+    for (std::uint32_t t = 0; t < task_count; ++t) {
+      tasks.push_back(EnumTask{static_cast<std::uint32_t>(ci), t, task_count,
+                               cost / task_count});
+    }
+  }
+  comp_task_begin[comp_count] = static_cast<std::uint32_t>(tasks.size());
+
+  std::vector<std::uint32_t> dispatch(tasks.size());
+  std::iota(dispatch.begin(), dispatch.end(), 0u);
+  std::stable_sort(dispatch.begin(), dispatch.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return tasks[a].cost > tasks[b].cost;
+                   });
+
+  std::vector<TaskResult> results(tasks.size());
+  const auto run_task = [&](std::size_t slot) {
+    // One scratch per lane, reused across tasks AND planes (CoverStore and
+    // the edge/next vectors keep their capacity; contents are cleared by
+    // prepare_pool). Lanes are distinct threads, so thread_local is exactly
+    // per-lane; the serial loop is one lane reusing one scratch.
     thread_local EnumerationScratch scratch;
-    ComponentFamily& family = families[ci];
-    ++family.counters.enumeration_calls;
-    enumerate_into(state_, params_, components[ci], std::nullopt,
-                   &family.counters, scratch);
-    // scratch.maximal is lexicographic by members; appending in this order
-    // keeps every member's family in the project-wide deterministic order.
-    for (const std::uint32_t i : scratch.maximal) {
+    const EnumTask& task = tasks[dispatch[slot]];
+    TaskResult& out = results[dispatch[slot]];
+    if (task.task_count == 1) {
+      out.final_family = true;
+      ++out.counters.enumeration_calls;
+      enumerate_into(state_, params_, components[task.comp], std::nullopt,
+                     &out.counters, scratch);
+      // scratch.maximal is lexicographic by members; appending in this
+      // order keeps every member's family in the project-wide order.
+      for (const std::uint32_t i : scratch.maximal) {
+        const auto run = scratch.covers.run(i);
+        out.arena.insert(out.arena.end(), run.begin(), run.end());
+        out.offsets.push_back(static_cast<std::uint32_t>(out.arena.size()));
+      }
+      return;
+    }
+    // Split path: this task slides its share of the top-level edges and
+    // exports its (locally deduped) covers in store order; one task carries
+    // the component's enumeration_calls tick.
+    if (task.task_index == 0) ++out.counters.enumeration_calls;
+    std::array<double, Point::kMaxDim> anchor_coords{};
+    prepare_pool(state_, params_, components[task.comp], std::nullopt,
+                 anchor_coords, scratch);
+    slide_edge_slice(state_, window, task.task_index, task.task_count, scratch,
+                     &out.counters);
+    for (std::uint32_t i = 0; i < scratch.covers.count(); ++i) {
       const auto run = scratch.covers.run(i);
-      family.arena.insert(family.arena.end(), run.begin(), run.end());
-      family.offsets.push_back(static_cast<std::uint32_t>(family.arena.size()));
+      out.arena.insert(out.arena.end(), run.begin(), run.end());
+      out.offsets.push_back(static_cast<std::uint32_t>(out.arena.size()));
     }
   };
   if (pool != nullptr) {
-    pool->for_each(comp_count, component_fanout, enumerate_component);
+    pool->for_each(tasks.size(), component_fanout, run_task, 0,
+                   lanes != nullptr ? &lanes->enumerate_lane_ms : nullptr);
   } else {
-    for (std::size_t ci = 0; ci < comp_count; ++ci) enumerate_component(ci);
+    for (std::size_t slot = 0; slot < tasks.size(); ++slot) run_task(slot);
   }
 
   // Deterministic merge: intern runs and assign families component by
-  // component, in discovery order.
+  // component, in discovery order. Split components re-assemble their cover
+  // store from the task slices in task (= edge) order — per-task dedup kept
+  // first occurrences within a slice, the merge add() keeps the first
+  // across slices, so the assembled store holds exactly the serial store's
+  // runs — then run the same content-based maximality selection.
   motion_offsets_.push_back(0);
   std::vector<std::vector<MotionId>> family_of(m);
   std::vector<std::vector<MotionId>> dense_of(m);
-  for (const ComponentFamily& family : families) {
-    counters_.windows_explored += family.counters.windows_explored;
-    counters_.covers_generated += family.counters.covers_generated;
-    counters_.enumeration_calls += family.counters.enumeration_calls;
-    for (std::size_t i = 0; i + 1 < family.offsets.size(); ++i) {
-      const std::span<const DeviceId> run{
-          family.arena.data() + family.offsets[i],
-          family.offsets[i + 1] - family.offsets[i]};
-      const MotionId mid = intern(run);
-      const bool dense = run.size() > params_.tau;
-      counters_.motions_shared += run.size() - 1;  // one arena run, |M| families
-      for (const DeviceId member : run) {
-        const auto rank = static_cast<std::size_t>(
-            std::lower_bound(ids_.begin(), ids_.end(), member) - ids_.begin());
-        family_of[rank].push_back(mid);
-        if (dense) dense_of[rank].push_back(mid);
+  EnumerationScratch merge_scratch;
+  const auto intern_run = [&](std::span<const DeviceId> run) {
+    const MotionId mid = intern(run);
+    const bool dense = run.size() > params_.tau;
+    counters_.motions_shared += run.size() - 1;  // one arena run, |M| families
+    for (const DeviceId member : run) {
+      const auto rank = static_cast<std::size_t>(
+          std::lower_bound(ids_.begin(), ids_.end(), member) - ids_.begin());
+      family_of[rank].push_back(mid);
+      if (dense) dense_of[rank].push_back(mid);
+    }
+  };
+  for (std::size_t ci = 0; ci < comp_count; ++ci) {
+    for (std::uint32_t t = comp_task_begin[ci]; t < comp_task_begin[ci + 1]; ++t) {
+      const OracleCounters& c = results[t].counters;
+      counters_.windows_explored += c.windows_explored;
+      counters_.covers_generated += c.covers_generated;
+      counters_.enumeration_calls += c.enumeration_calls;
+    }
+    const TaskResult& first = results[comp_task_begin[ci]];
+    if (first.final_family) {
+      for (std::size_t i = 0; i + 1 < first.offsets.size(); ++i) {
+        intern_run({first.arena.data() + first.offsets[i],
+                    first.offsets[i + 1] - first.offsets[i]});
       }
+      continue;
+    }
+    merge_scratch.covers.clear();
+    merge_scratch.maximal.clear();
+    for (std::uint32_t t = comp_task_begin[ci]; t < comp_task_begin[ci + 1]; ++t) {
+      const TaskResult& part = results[t];
+      for (std::size_t i = 0; i + 1 < part.offsets.size(); ++i) {
+        merge_scratch.covers.add({part.arena.data() + part.offsets[i],
+                                  part.offsets[i + 1] - part.offsets[i]});
+      }
+    }
+    select_maximal(merge_scratch.covers, merge_scratch);
+    for (const std::uint32_t i : merge_scratch.maximal) {
+      intern_run(merge_scratch.covers.run(i));
     }
   }
 

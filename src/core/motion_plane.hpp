@@ -66,6 +66,14 @@ struct OracleCounters {
                                      ///< to an interned motion (arena reuse)
 };
 
+/// Per-lane busy times of the plane build's two fan-outs (the engine's
+/// shard-skew instrumentation; see WorkerPool::for_each on lane_ms). Empty
+/// vectors when the corresponding pass ran serially.
+struct PlaneBuildLanes {
+  std::vector<double> query_lane_ms;      ///< pass 1: neighbourhood queries
+  std::vector<double> enumerate_lane_ms;  ///< pass 2: component enumeration
+};
+
 /// Canonical-window enumeration (the paper's Algorithm 2 core): all
 /// inclusion-maximal r-consistent motions within `pool`; when `anchor` is
 /// set, only motions containing the anchor. Deterministic (sorted) order.
@@ -104,13 +112,19 @@ class MotionPlane {
   MotionPlane(const StatePair& state, Params params);
 
   /// Engine-driven build: neighbourhoods come from `source` (the engine's
-  /// incrementally maintained FleetGrid restricted to A_k) and the
-  /// per-component family enumeration fans out over `pool` when given
-  /// (components are merged in discovery order, so the result is
-  /// byte-identical for any pool size, and identical to the from-scratch
-  /// ctor). `state` and `source` must outlive the plane.
+  /// incrementally maintained fleet grid restricted to A_k) and both passes
+  /// fan out over `pool` when given — pass 1 over contiguous rank chunks,
+  /// pass 2 over per-component enumeration tasks sized by an estimated
+  /// enumeration cost (member count x per-dimension window span), with
+  /// oversized non-tight components split across tasks by top-level window
+  /// edge ranges. Tasks merge in component-discovery/task order and the
+  /// cover dedup is content-based, so families, interned ids, and counters
+  /// are byte-identical for any pool size and any split, and identical to
+  /// the from-scratch ctor. `state` and `source` must outlive the plane;
+  /// `lanes`, when given, receives per-lane busy times of both fan-outs.
   MotionPlane(const StatePair& state, Params params, const NeighbourSource& source,
-              WorkerPool* pool = nullptr, std::size_t component_fanout = 2);
+              WorkerPool* pool = nullptr, std::size_t component_fanout = 2,
+              PlaneBuildLanes* lanes = nullptr);
 
   [[nodiscard]] const StatePair& state() const noexcept { return state_; }
   [[nodiscard]] const Params& params() const noexcept { return params_; }
@@ -152,7 +166,7 @@ class MotionPlane {
  private:
   /// Shared body of both constructors.
   void build(const NeighbourSource& source, WorkerPool* pool,
-             std::size_t component_fanout);
+             std::size_t component_fanout, PlaneBuildLanes* lanes);
   /// Rank of j within the sorted A_k ids; throws if not abnormal.
   [[nodiscard]] std::size_t rank_of(DeviceId j) const;
   /// Appends one sorted member run to the arena store (runs are distinct by

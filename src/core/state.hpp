@@ -12,6 +12,8 @@
 
 namespace acn {
 
+class WorkerPool;
+
 /// Positions of all devices at one discrete time. Immutable once built.
 class Snapshot {
  public:
@@ -58,8 +60,18 @@ class StatePair {
   /// space, parks vacant slots at their last position, and never flags a
   /// device abnormal in the interval its slot was (re)assigned, so a slot
   /// swap can never fabricate a characterizable trajectory.
+  ///
+  /// With a `pool`, the roll fans out over contiguous device-id chunks:
+  /// each lane rewrites the joint/SoA entries of its own id range (disjoint
+  /// writes) and collects its chunk's moved list; the chunk lists are
+  /// concatenated in range order, so `moved` comes out ascending and
+  /// byte-identical to the serial roll for every pool size and chunking.
+  /// `lane_ms`, when given, receives per-lane busy milliseconds (the
+  /// engine's shard-skew instrumentation).
   void advance(Snapshot next, DeviceSet abnormal,
-               std::vector<DeviceId>* moved = nullptr);
+               std::vector<DeviceId>* moved = nullptr,
+               WorkerPool* pool = nullptr,
+               std::vector<double>* lane_ms = nullptr);
 
   [[nodiscard]] std::size_t n() const noexcept { return prev_.size(); }
   [[nodiscard]] std::size_t dim() const noexcept { return prev_.dim(); }

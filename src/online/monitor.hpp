@@ -54,6 +54,11 @@ class OnlineMonitor {
     /// fan-outs (FrameEngine::Config::threads): 1 = serial (default), 0 =
     /// hardware concurrency. Verdicts are identical either way.
     unsigned characterize_threads = 1;
+    /// Spatial shards of the engine's fleet grid
+    /// (FrameEngine::Config::shards): 0 sizes to the worker count. Roster
+    /// admits/retires route through the sharded grid's owner shards;
+    /// verdicts are byte-identical for every value.
+    unsigned shards = 0;
     std::uint64_t episode_quiet_intervals = 1;
     std::optional<AdaptiveSampler::Config> adaptive;  ///< nullopt = fixed rate
     /// Churned-fleet mode: a fixed slot capacity > 0 embeds a FleetRoster

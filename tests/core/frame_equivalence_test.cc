@@ -12,6 +12,7 @@
 #include "common/rng.hpp"
 #include "core/characterizer.hpp"
 #include "core/frame.hpp"
+#include "online/monitor.hpp"
 #include "sim/scenario.hpp"
 
 namespace acn {
@@ -38,16 +39,28 @@ void expect_identical_decisions(const std::vector<Decision>& incremental,
 }
 
 /// Feeds `snapshots[k]` with abnormal sets `abnormal[k]` (k >= 1; snapshot 0
-/// primes) through engines at several pool sizes and checks each interval
-/// against the from-scratch rebuild.
+/// primes) through engines at several (pool size, shard count) pairs and
+/// checks each interval against the from-scratch rebuild. Shard count 7 is
+/// deliberately coprime to the 4-lane pool and larger than it, so stripes
+/// outnumber lanes and halo routing crosses every stripe boundary.
 void sweep_stream(const std::vector<Snapshot>& snapshots,
                   const std::vector<DeviceSet>& abnormal, Params model) {
-  for (const unsigned threads : {1u, 4u}) {
+  struct EngineShape {
+    unsigned threads;
+    unsigned shards;
+  };
+  constexpr EngineShape shapes[] = {
+      {1, 1}, {1, 7}, {4, 1}, {4, 2}, {4, 4}, {4, 7},
+  };
+  for (const EngineShape shape : shapes) {
+    SCOPED_TRACE(::testing::Message()
+                 << "threads=" << shape.threads << " shards=" << shape.shards);
     FrameEngine engine(
         FrameEngine::Config{.model = model,
                             .characterize = {.parallel_grain = 1},
-                            .threads = threads,
-                            .component_fanout = 1});
+                            .threads = shape.threads,
+                            .component_fanout = 1,
+                            .shards = shape.shards});
     (void)engine.observe(snapshots[0], DeviceSet{});
     for (std::size_t k = 1; k < snapshots.size(); ++k) {
       const std::optional<FrameEngine::Result> result =
@@ -153,6 +166,122 @@ TEST(FrameEquivalence, AllAbnormalEveryInterval) {
     abnormal.push_back(DeviceSet::from_sorted(everyone));
   }
   sweep_stream(snapshots, abnormal, model);
+}
+
+TEST(FrameEquivalence, ShardBoundaryStraddle) {
+  // With r=0.05 the grid cell is 0.1, so stripe boundaries fall on dim-0
+  // multiples of 0.1. Two clusters sit astride x=0.3 and x=0.7 with members
+  // on both sides at distances within the 2r joint window, and every
+  // interval each cluster's members hop across their boundary (swap sides)
+  // while a courier walks the full axis one stripe per interval. Any halo
+  // mistake — a neighbour snapshot missing a just-moved device, a double
+  // insert at the new owner, a stale bucket at the old — changes a dense
+  // ball population and with it a verdict.
+  const Params model{.r = 0.05, .tau = 2};
+  const auto build = [](bool flipped, double courier_x) {
+    std::vector<Point> positions;
+    for (const double centre : {0.3, 0.7}) {
+      const double side = flipped ? -0.02 : 0.02;
+      positions.push_back(Point{centre - side, 0.5});
+      positions.push_back(Point{centre + side, 0.5});
+      positions.push_back(Point{centre - side, 0.53});
+      positions.push_back(Point{centre + side, 0.53});
+    }
+    positions.push_back(Point{courier_x, 0.5});
+    return Snapshot(positions);
+  };
+  std::vector<DeviceId> everyone;
+  for (DeviceId j = 0; j < 9; ++j) everyone.push_back(j);
+
+  std::vector<Snapshot> snapshots;
+  std::vector<DeviceSet> abnormal;
+  snapshots.push_back(build(false, 0.05));
+  abnormal.emplace_back();
+  for (int k = 1; k <= 6; ++k) {
+    snapshots.push_back(build(k % 2 != 0, 0.05 + 0.1 * static_cast<double>(k)));
+    abnormal.push_back(DeviceSet::from_sorted(everyone));
+  }
+  sweep_stream(snapshots, abnormal, model);
+}
+
+TEST(FrameEquivalence, RosterChurnShardedMatchesUnsharded) {
+  // Churn under sharding: gateways join and leave mid-stream while others
+  // report fresh positions, so admits/retires land as grid inserts/removes
+  // routed to owner shards and parked slots must stay invisible to halo
+  // queries. A sharded pooled monitor must produce byte-identical interval
+  // reports to the unsharded serial one.
+  const auto make_monitor = [](unsigned threads, unsigned shards) {
+    return OnlineMonitor(OnlineMonitor::Config{
+        .model = Params{.r = 0.05, .tau = 2},
+        .characterize = {.parallel_grain = 1},
+        .characterize_threads = threads,
+        .shards = shards,
+        .roster_capacity = 32,
+        .roster_dim = 2});
+  };
+  OnlineMonitor reference = make_monitor(1, 1);
+  OnlineMonitor sharded = make_monitor(4, 3);
+
+  Rng rng(29);
+  std::vector<GatewayKey> active;
+  GatewayKey next_key = 1;
+  const auto random_point = [&rng] {
+    return Point{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+  };
+  // Seed roster.
+  for (int i = 0; i < 12; ++i) {
+    const Point p = random_point();
+    (void)reference.admit(next_key, p);
+    (void)sharded.admit(next_key, p);
+    active.push_back(next_key++);
+  }
+  for (int k = 0; k < 8; ++k) {
+    // A few departures (never below 6 gateways) and a few arrivals.
+    for (int d = 0; d < 2 && active.size() > 6; ++d) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform(0.0, static_cast<double>(active.size()) - 0.001));
+      reference.retire(active[pick]);
+      sharded.retire(active[pick]);
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    for (int a = 0; a < 3; ++a) {
+      const Point p = random_point();
+      (void)reference.admit(next_key, p);
+      (void)sharded.admit(next_key, p);
+      active.push_back(next_key++);
+    }
+    // Half the survivors move, some far enough to change owner shard.
+    for (const GatewayKey key : active) {
+      if (rng.uniform(0.0, 1.0) < 0.5) {
+        const Point p = random_point();
+        reference.report(key, p);
+        sharded.report(key, p);
+      }
+    }
+    // A random third of the active gateways are flagged abnormal.
+    std::vector<GatewayKey> flagged;
+    for (const GatewayKey key : active) {
+      if (rng.uniform(0.0, 1.0) < 0.33) flagged.push_back(key);
+    }
+    const IntervalReport want = reference.close_interval(flagged);
+    const IntervalReport got = sharded.close_interval(flagged);
+    EXPECT_EQ(got.abnormal, want.abnormal) << "interval " << k;
+    EXPECT_EQ(got.isolated, want.isolated) << "interval " << k;
+    EXPECT_EQ(got.massive, want.massive) << "interval " << k;
+    EXPECT_EQ(got.unresolved, want.unresolved) << "interval " << k;
+    ASSERT_EQ(got.decisions.size(), want.decisions.size()) << "interval " << k;
+    for (const auto& [device, decision] : want.decisions) {
+      const auto it = got.decisions.find(device);
+      ASSERT_NE(it, got.decisions.end()) << "interval " << k << " device " << device;
+      EXPECT_TRUE(it->second.cls == decision.cls &&
+                  it->second.rule == decision.rule &&
+                  it->second.exact == decision.exact &&
+                  it->second.maximal_motion_count == decision.maximal_motion_count &&
+                  it->second.dense_motion_count == decision.dense_motion_count &&
+                  it->second.collections_tested == decision.collections_tested)
+          << "interval " << k << " device " << device;
+    }
+  }
 }
 
 TEST(FrameEquivalence, RejectsFleetShapeChanges) {
