@@ -44,6 +44,7 @@ std::optional<FrameEngine::Result> FrameEngine::observe(Snapshot positions,
                                                         DeviceSet abnormal) {
   stats_ = {};
   stats_.shards = grid_.shards();
+  const kernels::Counters kernel_before = kernels::counters_snapshot();
   std::vector<double> lane_scratch;
   if (!ring_.primed()) {
     // Priming snapshot: no previous state, nothing to characterize (any
@@ -93,7 +94,7 @@ std::optional<FrameEngine::Result> FrameEngine::observe(Snapshot positions,
   PlaneBuildLanes plane_lanes;
   plane_.reset();
   plane_.emplace(state, config_.model, source_, &pool_, config_.component_fanout,
-                 &plane_lanes);
+                 &plane_lanes, config_.plane_arena_budget);
   stats_.plane_ms = ms_since(t0);
   stats_.plane_query_lanes = LaneBreakdown::of(plane_lanes.query_lane_ms);
   stats_.plane_enum_lanes = LaneBreakdown::of(plane_lanes.enumerate_lane_ms);
@@ -121,6 +122,7 @@ std::optional<FrameEngine::Result> FrameEngine::observe(Snapshot positions,
   result.sets.massive = DeviceSet::from_sorted(std::move(massive));
   result.sets.unresolved = DeviceSet::from_sorted(std::move(unresolved));
   stats_.characterize_ms = ms_since(t0);
+  stats_.kernel = kernels::counters_snapshot() - kernel_before;
 
   ++intervals_;
   return result;

@@ -45,6 +45,7 @@
 #include "common/worker_pool.hpp"
 #include "core/characterizer.hpp"
 #include "core/grid_index.hpp"
+#include "core/kernels/kernels.hpp"
 #include "core/motion_plane.hpp"
 #include "core/params.hpp"
 #include "core/state.hpp"
@@ -126,6 +127,11 @@ struct FrameStats {
   LaneBreakdown plane_query_lanes;  ///< plane pass 1 (neighbourhood queries)
   LaneBreakdown plane_enum_lanes;   ///< plane pass 2 (component enumeration)
   LaneBreakdown characterize_lanes; ///< per-device decision fan-out
+
+  /// SIMD-kernel invocation/volume deltas of this interval (all lanes
+  /// summed; see kernels::Counters — cycles stays 0 unless
+  /// ACN_KERNEL_CYCLES=1 was set at startup).
+  kernels::Counters kernel;
 };
 
 /// A closed interval as handed down from the ingestion layer: the
@@ -163,6 +169,13 @@ class FrameEngine {
     /// value pins it. Verdicts are byte-identical for every shard count —
     /// sharding moves bucket ownership, never query results.
     unsigned shards = 0;
+    /// Byte cap on the per-interval motion-plane arenas (neighbourhoods,
+    /// window covers, interned motions, membership bitsets). An adversarial
+    /// placement can make the motion-family arenas combinatorially large;
+    /// the cap turns that from an OOM kill into an ArenaBudgetExceeded
+    /// thrown out of observe() with the engine state untouched — the next
+    /// interval proceeds normally. 0 disables the cap.
+    std::uint64_t plane_arena_budget = 8ULL << 30;
   };
 
   /// Per-interval verdicts (absent for the priming snapshot).

@@ -1,0 +1,167 @@
+// Runtime-dispatched hot-path kernels over the quantized coordinate mirror.
+//
+// The three inner loops the profile is made of — the canonical-window slide
+// filter, the bounding-box min/max reduction, and the Theorem-7 survivor
+// popcounts — are routed through this narrow table. Two implementations
+// exist: a scalar reference (always compiled, the semantic ground truth)
+// and an AVX2 variant (compiled when ACN_SIMD is on, selected at startup
+// via CPUID). Every AVX2 kernel is byte-identical to the scalar one by
+// construction (see quantize.hpp for the boundary-band argument), and in
+// debug builds the dispatcher installs cross-checking wrappers that run
+// BOTH paths and assert equality on every single call.
+//
+// Selection order: ACN_KERNELS env var ("scalar"/"avx2") > force() test
+// hook > CPUID. The choice is made once and cached; force() exists so the
+// equivalence tests can pin either path in-process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/kernels/quantize.hpp"
+
+namespace acn::kernels {
+
+/// Result of the fused subtree-bound scan: popcount of open = base & ~used
+/// plus "does open intersect far / l" flags.
+struct OpenScan {
+  std::uint64_t open = 0;
+  bool far_any = false;
+  bool l_any = false;
+};
+
+/// Result of the Chebyshev-ball prefilter: `in_count` ids written to `out`
+/// are definitely inside the ball, `maybe_count` ids written to `maybe` sit
+/// in the quantization slop band and must be resolved by the caller with
+/// the exact scalar distance. (The scalar kernel resolves everything itself
+/// and always returns maybe_count == 0.)
+struct RadiusFilter {
+  std::size_t in_count = 0;
+  std::size_t maybe_count = 0;
+};
+
+/// The kernel table. All functions are stateless and thread-safe.
+struct Ops {
+  const char* name;  ///< "scalar" or "avx2"
+
+  /// Writes to `out` (capacity >= n) the ids whose coordinate col[id] lies
+  /// in [b.lower, b.upper], preserving input order; returns the count.
+  /// `qcol` is the quantize() image of `col` (same indexing).
+  std::size_t (*filter_in_window)(const std::uint32_t* qcol, const double* col,
+                                  const std::uint32_t* ids, std::size_t n,
+                                  const WindowBoundsQ& b, std::uint32_t* out);
+
+  /// Exact min/max of col[ids[i]] over i < n (n >= 1). Min/max of doubles
+  /// is exact and order-independent, so this matches any scalar scan.
+  void (*minmax_ids)(const double* col, const std::uint32_t* ids, std::size_t n,
+                     double* lo, double* hi);
+
+  /// Sum of popcount(a[k] & ~b[k]) over k < words — the Theorem-7 survivor
+  /// count (target members not yet removed).
+  std::uint64_t (*popcount_andnot)(const std::uint64_t* a, const std::uint64_t* b,
+                                   std::size_t words);
+
+  /// Fused scan of one base against the used set: open = base & ~used,
+  /// returns popcount(open) and whether open intersects far / l.
+  OpenScan (*scan_open)(const std::uint64_t* base, const std::uint64_t* used,
+                        const std::uint64_t* far, const std::uint64_t* l,
+                        std::size_t words);
+
+  /// Batched relation-(4) test over a row-major bitset matrix (`count` rows
+  /// of `words` words): true iff EVERY row keeps fewer than `tau` set bits
+  /// outside `used`. One call per search node replaces a per-target call —
+  /// the dominating dispatch overhead of the Theorem-7 DFS.
+  bool (*targets_all_below)(const std::uint64_t* targets, std::size_t count,
+                            std::size_t words, const std::uint64_t* used,
+                            std::uint64_t tau);
+
+  /// Usability scan + achievable accumulation of the Theorem-7 DFS, one
+  /// call per node. For each row index r of `rows` (ascending), scan_open
+  /// bases[r * words ..] against `used`; usable rows (more than `tau` open
+  /// bits, an open far bit, an open L bit) are OR-ed into `acc` and their
+  /// index appended to `out_rows` (capacity >= count, order preserved).
+  /// Returns the number written. The caller seeds `acc` with `used`;
+  /// afterwards acc = used | OR(usable bases) is the exact achievable set
+  /// of the subtree, and the surviving list is a valid candidate filter for
+  /// every descendant (open sets only shrink as `used` grows).
+  std::size_t (*nsc_scan_rows)(const std::uint64_t* bases,
+                               const std::uint32_t* rows, std::size_t count,
+                               std::size_t words, const std::uint64_t* used,
+                               const std::uint64_t* far, const std::uint64_t* l,
+                               std::uint64_t tau, std::uint64_t* acc,
+                               std::uint32_t* out_rows);
+
+  /// Chebyshev-ball prefilter over the joint columns: classifies each id of
+  /// `ids` against max_t |cols[t][id] - centre[t]| <= radius using the
+  /// quantized mirror (qcols, same [dim][device] layout with row stride
+  /// `stride`). Definite members go to `out`, slop-band ids to `maybe` (both
+  /// capacity >= n, input order preserved within each).
+  RadiusFilter (*filter_in_radius)(const std::uint32_t* qcols, const double* cols,
+                                   std::size_t stride, std::size_t dims,
+                                   const double* centre, double radius,
+                                   const std::uint32_t* ids, std::size_t n,
+                                   std::uint32_t* out, std::uint32_t* maybe);
+};
+
+/// The selected table (cached after the first call).
+[[nodiscard]] const Ops& dispatch() noexcept;
+
+/// The selected table WITHOUT the counting wrappers — for call-sites that
+/// make hundreds of thousands of kernel calls per frame (the Theorem-7
+/// search) where two relaxed atomic adds plus an indirect call per kernel
+/// call are measurable. Such callers charge the counters in bulk through
+/// counters_charge_popcnt(). Debug builds return the counted table anyway so
+/// every call still cross-checks SIMD against scalar (and charge_popcnt
+/// becomes a no-op to avoid double counting).
+[[nodiscard]] const Ops& dispatch_raw() noexcept;
+
+/// Bulk counter charge paired with dispatch_raw(): adds `calls` popcount-
+/// class kernel calls totalling `words` words to this thread's counters.
+void counters_charge_popcnt(std::uint64_t calls, std::uint64_t words) noexcept;
+
+/// Name of the selected table ("scalar" or "avx2").
+[[nodiscard]] const char* dispatch_name() noexcept;
+
+/// Test hook: pin the dispatch to "scalar" or "avx2", or back to "auto".
+/// Returns false (and leaves the dispatch unchanged) when the requested
+/// variant is not available in this build/CPU.
+bool force(const char* name) noexcept;
+
+/// True when the AVX2 table is compiled in AND the CPU supports it.
+[[nodiscard]] bool avx2_available() noexcept;
+
+/// Per-kernel invocation/volume counters, accumulated thread-locally and
+/// summed over every thread that ever ran a kernel (worker lanes included).
+/// `cycles` totals rdtsc ticks spent inside kernels when ACN_KERNEL_CYCLES=1
+/// was set at startup (zero otherwise — the default keeps the hot path free
+/// of timestamp reads).
+struct Counters {
+  std::uint64_t filter_calls = 0;
+  std::uint64_t filter_items = 0;
+  std::uint64_t minmax_calls = 0;
+  std::uint64_t minmax_items = 0;
+  std::uint64_t popcnt_calls = 0;
+  std::uint64_t popcnt_words = 0;
+  std::uint64_t radius_calls = 0;
+  std::uint64_t radius_items = 0;
+  std::uint64_t cycles = 0;
+
+  Counters operator-(const Counters& o) const noexcept {
+    Counters d;
+    d.filter_calls = filter_calls - o.filter_calls;
+    d.filter_items = filter_items - o.filter_items;
+    d.minmax_calls = minmax_calls - o.minmax_calls;
+    d.minmax_items = minmax_items - o.minmax_items;
+    d.popcnt_calls = popcnt_calls - o.popcnt_calls;
+    d.popcnt_words = popcnt_words - o.popcnt_words;
+    d.radius_calls = radius_calls - o.radius_calls;
+    d.radius_items = radius_items - o.radius_items;
+    d.cycles = cycles - o.cycles;
+    return d;
+  }
+};
+
+/// Snapshot of the process-wide kernel counters (sums all threads).
+[[nodiscard]] Counters counters_snapshot() noexcept;
+
+}  // namespace acn::kernels

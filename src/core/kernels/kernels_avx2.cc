@@ -1,0 +1,397 @@
+// AVX2 implementations of the kernel table. This TU is the only one built
+// with -mavx2 (CMake sets it per-source); it is reached only after a CPUID
+// check in the dispatcher, so no function here runs on a non-AVX2 CPU.
+//
+// Techniques (after proxmark3's bitsliced hot loops):
+//   * window filter: 8 quantized coordinates gathered per iteration, signed
+//     32-bit lane compares against the quantized bounds, boundary-tie lanes
+//     (q == ql or q == qu, measure-2^-30 rare) resolved with the exact
+//     double predicate, verdict mask merged BEFORE the left-pack so output
+//     order stays the input order;
+//   * left-pack via a 256-entry permutation LUT indexed by the movemask;
+//   * min/max: 4 doubles gathered per iteration into vminpd/vmaxpd
+//     accumulators — min/max of doubles is exact, so this is byte-identical
+//     to any scalar scan by associativity/commutativity (no NaNs in [0,1]);
+//   * survivor counts: 256-bit AND/ANDNOT with a nibble-LUT (pshufb)
+//     popcount, scalar POPCNT tail under four words.
+#include <cstring>
+#include <immintrin.h>
+
+#include "core/kernels/kernels.hpp"
+
+namespace acn::kernels {
+namespace {
+
+/// perm[mask][k] = index of the k-th set lane of mask; identity on the tail
+/// so the permute never reads out of the source register.
+struct PackLut {
+  alignas(32) std::uint32_t perm[256][8];
+};
+
+constexpr PackLut make_pack_lut() {
+  PackLut lut{};
+  for (unsigned mask = 0; mask < 256; ++mask) {
+    unsigned k = 0;
+    for (unsigned lane = 0; lane < 8; ++lane) {
+      if (mask & (1u << lane)) lut.perm[mask][k++] = lane;
+    }
+    for (unsigned lane = 0; k < 8; ++lane, ++k) lut.perm[mask][k] = lane;
+  }
+  return lut;
+}
+
+constexpr PackLut kPack = make_pack_lut();
+
+std::size_t avx2_filter_in_window(const std::uint32_t* qcol, const double* col,
+                                  const std::uint32_t* ids, std::size_t n,
+                                  const WindowBoundsQ& b, std::uint32_t* out) {
+  const __m256i vql = _mm256_set1_epi32(b.ql);
+  const __m256i vqu = _mm256_set1_epi32(b.qu);
+  std::size_t out_n = 0;
+  std::size_t i = 0;
+  // Safe full-width stores: out_n <= i and i + 8 <= n, so out + out_n + 8
+  // never passes out + n.
+  for (; i + 8 <= n; i += 8) {
+    const __m256i vid =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids + i));
+    const __m256i q = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(qcol), vid, 4);
+    // Strict interior: ql < q < qu (all values fit signed 32-bit lanes).
+    const __m256i in = _mm256_and_si256(_mm256_cmpgt_epi32(q, vql),
+                                        _mm256_cmpgt_epi32(vqu, q));
+    unsigned in_mask =
+        static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(in)));
+    // Boundary ties resolved with the exact double predicate, merged into
+    // the mask before packing so order is preserved.
+    const __m256i tie = _mm256_or_si256(_mm256_cmpeq_epi32(q, vql),
+                                        _mm256_cmpeq_epi32(q, vqu));
+    unsigned tie_mask =
+        static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(tie)));
+    while (tie_mask != 0) {
+      const unsigned lane = static_cast<unsigned>(__builtin_ctz(tie_mask));
+      tie_mask &= tie_mask - 1;
+      const double x = col[ids[i + lane]];
+      if (x >= b.lower && x <= b.upper) in_mask |= 1u << lane;
+    }
+    const __m256i perm = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(kPack.perm[in_mask]));
+    const __m256i packed = _mm256_permutevar8x32_epi32(vid, perm);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + out_n), packed);
+    out_n += static_cast<std::size_t>(__builtin_popcount(in_mask));
+  }
+  for (; i < n; ++i) {
+    const std::uint32_t id = ids[i];
+    const double x = col[id];
+    if (x >= b.lower && x <= b.upper) out[out_n++] = id;
+  }
+  return out_n;
+}
+
+void avx2_minmax_ids(const double* col, const std::uint32_t* ids, std::size_t n,
+                     double* lo, double* hi) {
+  double l = col[ids[0]];
+  double h = l;
+  std::size_t i = 1;
+  if (n >= 5) {
+    __m256d vlo = _mm256_set1_pd(l);
+    __m256d vhi = vlo;
+    // Masked gather with an initialized source: same codegen, but avoids
+    // gcc's -Wmaybe-uninitialized false positive on _mm256_undefined_pd.
+    const __m256d all = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+    for (; i + 4 <= n; i += 4) {
+      const __m128i vid =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(ids + i));
+      const __m256d v = _mm256_mask_i32gather_pd(vlo, col, vid, all, 8);
+      vlo = _mm256_min_pd(vlo, v);
+      vhi = _mm256_max_pd(vhi, v);
+    }
+    alignas(32) double tmp[4];
+    _mm256_store_pd(tmp, vlo);
+    for (const double x : tmp) {
+      if (x < l) l = x;
+    }
+    _mm256_store_pd(tmp, vhi);
+    for (const double x : tmp) {
+      if (x > h) h = x;
+    }
+  }
+  for (; i < n; ++i) {
+    const double x = col[ids[i]];
+    if (x < l) l = x;
+    if (x > h) h = x;
+  }
+  *lo = l;
+  *hi = h;
+}
+
+/// Byte popcount of a 256-bit lane via the classic nibble LUT.
+inline __m256i popcount_bytes(__m256i v) noexcept {
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3,
+                                       3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3,
+                                       2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0F);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+std::uint64_t avx2_popcount_andnot(const std::uint64_t* a, const std::uint64_t* b,
+                                   std::size_t words) {
+  std::size_t k = 0;
+  std::uint64_t count = 0;
+  if (words >= 8) {
+    __m256i acc = _mm256_setzero_si256();
+    for (; k + 4 <= words; k += 4) {
+      const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + k));
+      const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + k));
+      const __m256i open = _mm256_andnot_si256(vb, va);
+      acc = _mm256_add_epi64(acc, _mm256_sad_epu8(popcount_bytes(open),
+                                                  _mm256_setzero_si256()));
+    }
+    alignas(32) std::uint64_t tmp[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), acc);
+    count = tmp[0] + tmp[1] + tmp[2] + tmp[3];
+  }
+  for (; k < words; ++k) {
+    count += static_cast<std::uint64_t>(__builtin_popcountll(a[k] & ~b[k]));
+  }
+  return count;
+}
+
+OpenScan avx2_scan_open(const std::uint64_t* base, const std::uint64_t* used,
+                        const std::uint64_t* far, const std::uint64_t* l,
+                        std::size_t words) {
+  OpenScan r;
+  std::uint64_t far_hit = 0;
+  std::uint64_t l_hit = 0;
+  std::size_t k = 0;
+  if (words >= 8) {
+    __m256i acc = _mm256_setzero_si256();
+    __m256i vfar = _mm256_setzero_si256();
+    __m256i vl = _mm256_setzero_si256();
+    for (; k + 4 <= words; k += 4) {
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base + k));
+      const __m256i vu =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(used + k));
+      const __m256i open = _mm256_andnot_si256(vu, vb);
+      acc = _mm256_add_epi64(acc, _mm256_sad_epu8(popcount_bytes(open),
+                                                  _mm256_setzero_si256()));
+      vfar = _mm256_or_si256(
+          vfar, _mm256_and_si256(open, _mm256_loadu_si256(
+                                           reinterpret_cast<const __m256i*>(far + k))));
+      vl = _mm256_or_si256(
+          vl, _mm256_and_si256(open, _mm256_loadu_si256(
+                                         reinterpret_cast<const __m256i*>(l + k))));
+    }
+    alignas(32) std::uint64_t tmp[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), acc);
+    r.open = tmp[0] + tmp[1] + tmp[2] + tmp[3];
+    far_hit = static_cast<std::uint64_t>(!_mm256_testz_si256(vfar, vfar));
+    l_hit = static_cast<std::uint64_t>(!_mm256_testz_si256(vl, vl));
+  }
+  for (; k < words; ++k) {
+    const std::uint64_t open = base[k] & ~used[k];
+    r.open += static_cast<std::uint64_t>(__builtin_popcountll(open));
+    far_hit |= open & far[k];
+    l_hit |= open & l[k];
+  }
+  r.far_any = far_hit != 0;
+  r.l_any = l_hit != 0;
+  return r;
+}
+
+bool avx2_targets_all_below(const std::uint64_t* targets, std::size_t count,
+                            std::size_t words, const std::uint64_t* used,
+                            std::uint64_t tau) {
+  // The Theorem-7 search calls this once per node with one- or two-word
+  // rows (the compact universe rarely tops 128 ids); keeping the complement
+  // of `used` in registers and the per-row work branch-free is worth ~2x
+  // over the generic per-row popcount call.
+  if (words == 1) {
+    const std::uint64_t u0 = ~used[0];
+    for (std::size_t i = 0; i < count; ++i) {
+      if (static_cast<std::uint64_t>(__builtin_popcountll(targets[i] & u0)) >=
+          tau) {
+        return false;
+      }
+    }
+    return true;
+  }
+  if (words == 2) {
+    const std::uint64_t u0 = ~used[0];
+    const std::uint64_t u1 = ~used[1];
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint64_t* row = targets + i * 2;
+      const std::uint64_t survivors =
+          static_cast<std::uint64_t>(__builtin_popcountll(row[0] & u0)) +
+          static_cast<std::uint64_t>(__builtin_popcountll(row[1] & u1));
+      if (survivors >= tau) return false;
+    }
+    return true;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    if (avx2_popcount_andnot(targets + i * words, used, words) >= tau) return false;
+  }
+  return true;
+}
+
+std::size_t avx2_nsc_scan_rows(const std::uint64_t* bases,
+                               const std::uint32_t* rows, std::size_t count,
+                               std::size_t words, const std::uint64_t* used,
+                               const std::uint64_t* far, const std::uint64_t* l,
+                               std::uint64_t tau, std::uint64_t* acc,
+                               std::uint32_t* out_rows) {
+  std::size_t out_n = 0;
+  // Same small-universe fast paths as targets_all_below: the whole row scan
+  // stays in registers, no per-row scan_open call.
+  if (words == 1) {
+    const std::uint64_t u0 = used[0];
+    const std::uint64_t f0 = far[0];
+    const std::uint64_t l0 = l[0];
+    std::uint64_t a0 = acc[0];
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint64_t row = bases[rows[i]];
+      const std::uint64_t open = row & ~u0;
+      if (static_cast<std::uint64_t>(__builtin_popcountll(open)) <= tau ||
+          (open & f0) == 0 || (open & l0) == 0) {
+        continue;
+      }
+      a0 |= row;
+      out_rows[out_n++] = rows[i];
+    }
+    acc[0] = a0;
+    return out_n;
+  }
+  if (words == 2) {
+    const std::uint64_t u0 = used[0];
+    const std::uint64_t u1 = used[1];
+    const std::uint64_t f0 = far[0];
+    const std::uint64_t f1 = far[1];
+    const std::uint64_t l0 = l[0];
+    const std::uint64_t l1 = l[1];
+    std::uint64_t a0 = acc[0];
+    std::uint64_t a1 = acc[1];
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint64_t* row = bases + rows[i] * 2;
+      const std::uint64_t o0 = row[0] & ~u0;
+      const std::uint64_t o1 = row[1] & ~u1;
+      const std::uint64_t open =
+          static_cast<std::uint64_t>(__builtin_popcountll(o0)) +
+          static_cast<std::uint64_t>(__builtin_popcountll(o1));
+      if (open <= tau || ((o0 & f0) | (o1 & f1)) == 0 ||
+          ((o0 & l0) | (o1 & l1)) == 0) {
+        continue;
+      }
+      a0 |= row[0];
+      a1 |= row[1];
+      out_rows[out_n++] = rows[i];
+    }
+    acc[0] = a0;
+    acc[1] = a1;
+    return out_n;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t* row = bases + rows[i] * words;
+    const OpenScan scan = avx2_scan_open(row, used, far, l, words);
+    if (scan.open <= tau || !scan.far_any || !scan.l_any) continue;
+    std::size_t k = 0;
+    for (; k + 4 <= words; k += 4) {
+      const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + k));
+      const __m256i vr = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + k));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + k),
+                          _mm256_or_si256(va, vr));
+    }
+    for (; k < words; ++k) acc[k] |= row[k];
+    out_rows[out_n++] = rows[i];
+  }
+  return out_n;
+}
+
+RadiusFilter avx2_filter_in_radius(const std::uint32_t* qcols, const double* cols,
+                                   std::size_t stride, std::size_t dims,
+                                   const double* centre, double radius,
+                                   const std::uint32_t* ids, std::size_t n,
+                                   std::uint32_t* out, std::uint32_t* maybe) {
+  RadiusFilter r;
+  // Per-dimension prefilter bands (joint_dim <= 2 * Point::kMaxDim = 32).
+  std::int32_t lo_in[32];
+  std::int32_t hi_in[32];
+  std::int32_t lo_out[32];
+  std::int32_t hi_out[32];
+  for (std::size_t t = 0; t < dims; ++t) {
+    const RadiusBandQ band = radius_band(centre[t], radius);
+    lo_in[t] = band.lo_in;
+    hi_in[t] = band.hi_in;
+    lo_out[t] = band.lo_out;
+    hi_out[t] = band.hi_out;
+  }
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i vid =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids + i));
+    // all_in / any_out accumulated across dimensions as lane masks.
+    unsigned all_in = 0xFFu;
+    unsigned any_out = 0;
+    for (std::size_t t = 0; t < dims; ++t) {
+      const __m256i q = _mm256_i32gather_epi32(
+          reinterpret_cast<const int*>(qcols + t * stride), vid, 4);
+      const __m256i ge_lo_in = _mm256_cmpgt_epi32(q, _mm256_set1_epi32(lo_in[t] - 1));
+      const __m256i le_hi_in = _mm256_cmpgt_epi32(_mm256_set1_epi32(hi_in[t] + 1), q);
+      const __m256i dim_in = _mm256_and_si256(ge_lo_in, le_hi_in);
+      const __m256i lt_lo_out = _mm256_cmpgt_epi32(_mm256_set1_epi32(lo_out[t]), q);
+      const __m256i gt_hi_out = _mm256_cmpgt_epi32(q, _mm256_set1_epi32(hi_out[t]));
+      const __m256i dim_out = _mm256_or_si256(lt_lo_out, gt_hi_out);
+      all_in &= static_cast<unsigned>(
+          _mm256_movemask_ps(_mm256_castsi256_ps(dim_in)));
+      any_out |= static_cast<unsigned>(
+          _mm256_movemask_ps(_mm256_castsi256_ps(dim_out)));
+      if (any_out == 0xFFu) break;  // every lane already rejected
+    }
+    const unsigned definite_in = all_in & ~any_out;
+    const unsigned band = 0xFFu & ~definite_in & ~any_out;
+    if (definite_in != 0) {
+      const __m256i perm = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(kPack.perm[definite_in]));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + r.in_count),
+                          _mm256_permutevar8x32_epi32(vid, perm));
+      r.in_count += static_cast<std::size_t>(__builtin_popcount(definite_in));
+    }
+    unsigned band_mask = band;
+    while (band_mask != 0) {
+      const unsigned lane = static_cast<unsigned>(__builtin_ctz(band_mask));
+      band_mask &= band_mask - 1;
+      maybe[r.maybe_count++] = ids[i + lane];
+    }
+  }
+  for (; i < n; ++i) {
+    const std::uint32_t id = ids[i];
+    bool in = true;
+    for (std::size_t t = 0; t < dims; ++t) {
+      if (std::fabs(cols[t * stride + id] - centre[t]) > radius) {
+        in = false;
+        break;
+      }
+    }
+    if (in) out[r.in_count++] = id;
+  }
+  return r;
+}
+
+constexpr Ops kAvx2Ops = {
+    "avx2",
+    avx2_filter_in_window,
+    avx2_minmax_ids,
+    avx2_popcount_andnot,
+    avx2_scan_open,
+    avx2_targets_all_below,
+    avx2_nsc_scan_rows,
+    avx2_filter_in_radius,
+};
+
+}  // namespace
+
+const Ops& avx2_ops() noexcept { return kAvx2Ops; }
+
+}  // namespace acn::kernels

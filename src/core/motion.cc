@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "core/kernels/kernels.hpp"
+
 namespace acn {
 
 JointBox::JointBox(std::size_t joint_dim) noexcept : dim_(joint_dim) {
@@ -54,9 +56,20 @@ bool is_r_consistent(const Snapshot& snapshot, const DeviceSet& set, double r) {
 }
 
 bool has_consistent_motion(const StatePair& state, const DeviceSet& set, double r) {
-  JointBox box(state.joint_dim());
-  for (const DeviceId j : set) box.add(state.joint(j));
-  return box.within(2.0 * r);
+  // Column-wise exact min/max over the SoA joint layout (kernel-dispatched;
+  // min/max of doubles is exact, so this matches the JointBox scan byte for
+  // byte) with a per-dimension early exit.
+  if (set.empty()) return true;  // JointBox::within is vacuously true
+  const auto ids = set.ids();
+  const kernels::Ops& ops = kernels::dispatch();
+  const double window = 2.0 * r;
+  for (std::size_t t = 0; t < state.joint_dim(); ++t) {
+    double lo;
+    double hi;
+    ops.minmax_ids(state.joint_col(t), ids.data(), ids.size(), &lo, &hi);
+    if (hi - lo > window) return false;
+  }
+  return true;
 }
 
 double joint_diameter(const StatePair& state, const DeviceSet& set) {

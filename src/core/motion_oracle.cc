@@ -5,6 +5,8 @@
 #include <functional>
 #include <stdexcept>
 
+#include "core/kernels/kernels.hpp"
+
 namespace acn {
 
 MotionOracle::MotionOracle(const StatePair& state, Params params)
@@ -185,16 +187,19 @@ bool exists_dense_window_cover(const StatePair& state, const Params& params,
     std::sort(edges.begin(), edges.end());
     edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
 
+    // Same kernel-dispatched filter as the plane's slide (byte-identical to
+    // the plain double compare loop; see core/kernels/quantize.hpp).
+    const kernels::Ops& ops = kernels::dispatch();
+    const std::uint32_t* qcol = state.qcol(dim_index);
     std::vector<DeviceId> next;
     next.reserve(active.size());
     for (const double lower : edges) {
       if (windows_explored != nullptr) ++*windows_explored;
-      const double upper = lower + window;
-      next.clear();
-      for (const DeviceId id : active) {
-        const double x = col[id];
-        if (x >= lower && x <= upper) next.push_back(id);
-      }
+      const kernels::WindowBoundsQ bounds =
+          kernels::window_bounds(lower, lower + window);
+      next.resize(active.size());
+      next.resize(ops.filter_in_window(qcol, col, active.data(), active.size(),
+                                       bounds, next.data()));
       if (slide_any(next, dim_index + 1)) return true;
     }
     return false;

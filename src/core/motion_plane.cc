@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "common/worker_pool.hpp"
+#include "core/kernels/kernels.hpp"
 
 namespace acn {
 namespace {
@@ -46,6 +47,9 @@ struct CoverStore {
   std::vector<DeviceId> arena;
   std::vector<std::uint32_t> offsets{0};
   std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index;
+  /// Plane-wide byte meter (null for the free-function enumeration path).
+  /// Set per task — the scratch is thread_local and outlives any one plane.
+  ArenaBudget* budget = nullptr;
 
   void clear() {
     arena.clear();
@@ -65,6 +69,7 @@ struct CoverStore {
         return;  // duplicate window cover
       }
     }
+    if (budget != nullptr) budget->charge(ids.size() * sizeof(DeviceId));
     slots.push_back(static_cast<std::uint32_t>(count()));
     arena.insert(arena.end(), ids.begin(), ids.end());
     offsets.push_back(static_cast<std::uint32_t>(arena.size()));
@@ -138,15 +143,18 @@ void slide(const StatePair& state, double window, std::span<const DeviceId> acti
   std::sort(edges.begin(), edges.end());
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
 
+  // Kernel-dispatched membership filter: 8 quantized lanes per compare,
+  // boundary ties re-resolved against `col` — byte-identical to the plain
+  // `x >= lower && x <= upper` loop (core/kernels/quantize.hpp).
+  const kernels::Ops& ops = kernels::dispatch();
+  const std::uint32_t* qcol = state.qcol(dim);
   auto& next = scratch.next[dim_index];
   for (const double lower : edges) {
     if (counters != nullptr) ++counters->windows_explored;
-    const double upper = lower + window;
-    next.clear();
-    for (const DeviceId id : active) {
-      const double x = col[id];
-      if (x >= lower && x <= upper) next.push_back(id);
-    }
+    const kernels::WindowBoundsQ bounds = kernels::window_bounds(lower, lower + window);
+    next.resize(active.size());
+    next.resize(ops.filter_in_window(qcol, col, active.data(), active.size(),
+                                     bounds, next.data()));
     slide(state, window, next, dim_index + 1, anchor_joint, scratch, counters);
   }
 }
@@ -192,16 +200,12 @@ const double* prepare_pool(const StatePair& state, const Params& params,
   // Visit dimensions widest span first (see EnumerationScratch::dim_order).
   // Ties break toward the lower dimension index, keeping the order — and
   // the windows_explored trajectory — deterministic.
+  const kernels::Ops& ops = kernels::dispatch();
   std::array<double, 2 * Point::kMaxDim> span{};
   for (std::size_t t = 0; t < state.joint_dim(); ++t) {
-    const double* col = state.joint_col(t);
-    double lo = col[pool[0]];
-    double hi = lo;
-    for (const DeviceId id : pool) {
-      const double x = col[id];
-      lo = std::min(lo, x);
-      hi = std::max(hi, x);
-    }
+    double lo;
+    double hi;
+    ops.minmax_ids(state.joint_col(t), pool.data(), pool.size(), &lo, &hi);
     span[t] = hi - lo;
     scratch.dim_order[t] = t;
   }
@@ -291,16 +295,16 @@ void slide_edge_slice(const StatePair& state, double window,
   const std::size_t edge_count = edges.size();
   const std::size_t begin = task_index * edge_count / task_count;
   const std::size_t end = (task_index + 1) * edge_count / task_count;
+  const kernels::Ops& ops = kernels::dispatch();
+  const std::uint32_t* qcol = state.qcol(dim);
   auto& next = scratch.next[0];
   for (std::size_t e = begin; e < end; ++e) {
     if (counters != nullptr) ++counters->windows_explored;
-    const double lower = edges[e];
-    const double upper = lower + window;
-    next.clear();
-    for (const DeviceId id : scratch.pool) {
-      const double x = col[id];
-      if (x >= lower && x <= upper) next.push_back(id);
-    }
+    const kernels::WindowBoundsQ bounds =
+        kernels::window_bounds(edges[e], edges[e] + window);
+    next.resize(scratch.pool.size());
+    next.resize(ops.filter_in_window(qcol, col, scratch.pool.data(),
+                                     scratch.pool.size(), bounds, next.data()));
     slide(state, window, next, 1, nullptr, scratch, counters);
   }
 }
@@ -310,15 +314,13 @@ void slide_edge_slice(const StatePair& state, double window,
 bool spans_fit_window(const StatePair& state, double window,
                       std::span<const DeviceId> active,
                       std::span<const std::size_t> dims) noexcept {
+  // min/max of doubles is exact and order-free, so the kernel reduction is
+  // byte-identical to the plain scan on every input.
+  const kernels::Ops& ops = kernels::dispatch();
   for (const std::size_t t : dims) {
-    const double* col = state.joint_col(t);
-    double lo = col[active[0]];
-    double hi = lo;
-    for (const DeviceId id : active.subspan(1)) {
-      const double x = col[id];
-      lo = std::min(lo, x);
-      hi = std::max(hi, x);
-    }
+    double lo;
+    double hi;
+    ops.minmax_ids(state.joint_col(t), active.data(), active.size(), &lo, &hi);
     if (hi - lo > window) return false;
   }
   return true;
@@ -351,9 +353,11 @@ MotionPlane::MotionPlane(const StatePair& state, Params params)
 
 MotionPlane::MotionPlane(const StatePair& state, Params params,
                          const NeighbourSource& source, WorkerPool* pool,
-                         std::size_t component_fanout, PlaneBuildLanes* lanes)
+                         std::size_t component_fanout, PlaneBuildLanes* lanes,
+                         std::uint64_t arena_budget_bytes)
     : state_(state), params_(params), source_(&source) {
   params_.validate();
+  budget_.limit = arena_budget_bytes;
   build(source, pool, component_fanout, lanes);
 }
 
@@ -362,6 +366,12 @@ void MotionPlane::build(const NeighbourSource& source, WorkerPool* pool,
   const DeviceSet& abnormal = state_.abnormal();
   ids_.assign(abnormal.begin(), abnormal.end());
   const std::size_t m = ids_.size();
+
+  // Dense rank lookup: rank_of / covers / intern_run become array reads.
+  rank_lookup_.assign(m == 0 ? 0 : ids_.back() + 1, kNoRank);
+  for (std::size_t rank = 0; rank < m; ++rank) {
+    rank_lookup_[ids_[rank]] = static_cast<std::uint32_t>(rank);
+  }
 
   // Pass 1: neighbourhoods, one grid query per device into the flat arena.
   // With a pool, contiguous rank chunks query concurrently (the sources are
@@ -390,6 +400,7 @@ void MotionPlane::build(const NeighbourSource& source, WorkerPool* pool,
         },
         0, lanes != nullptr ? &lanes->query_lane_ms : nullptr);
     for (const std::vector<DeviceId>& arena : chunk_arena) {
+      budget_.charge(arena.size() * sizeof(DeviceId));
       for (std::size_t i = 0; i < arena.size();) {
         const std::size_t len = arena[i++];
         nbr_arena_.insert(nbr_arena_.end(), arena.begin() + static_cast<std::ptrdiff_t>(i),
@@ -402,6 +413,7 @@ void MotionPlane::build(const NeighbourSource& source, WorkerPool* pool,
     std::vector<DeviceId> nbr_scratch;
     for (const DeviceId j : ids_) {
       source.within_into(j, params_.window(), nbr_scratch);
+      budget_.charge(nbr_scratch.size() * sizeof(DeviceId));
       nbr_arena_.insert(nbr_arena_.end(), nbr_scratch.begin(), nbr_scratch.end());
       nbr_offsets_.push_back(static_cast<std::uint32_t>(nbr_arena_.size()));
     }
@@ -422,6 +434,27 @@ void MotionPlane::build(const NeighbourSource& source, WorkerPool* pool,
                                          nbr_offsets_[rank + 1] - nbr_offsets_[rank]};
       });
   const std::size_t comp_count = components.size();
+
+  // Component-indexed arenas: each component's sorted member list is the
+  // comp-rank universe its motions' membership bitsets index into (the
+  // characterizer's word-parallel Theorem 6/7 path).
+  budget_.charge(m * (3 * sizeof(std::uint32_t)) +
+                 (comp_count + 1) * sizeof(std::uint32_t));
+  comp_of_.resize(m);
+  comp_rank_of_.resize(m);
+  comp_member_offsets_.reserve(comp_count + 1);
+  comp_member_offsets_.push_back(0);
+  comp_members_.reserve(m);
+  for (std::size_t ci = 0; ci < comp_count; ++ci) {
+    const std::vector<DeviceId>& comp = components[ci];
+    for (std::size_t cr = 0; cr < comp.size(); ++cr) {
+      const std::uint32_t rank = rank_lookup_[comp[cr]];
+      comp_of_[rank] = static_cast<std::uint32_t>(ci);
+      comp_rank_of_[rank] = static_cast<std::uint32_t>(cr);
+    }
+    comp_members_.insert(comp_members_.end(), comp.begin(), comp.end());
+    comp_member_offsets_.push_back(static_cast<std::uint32_t>(comp_members_.size()));
+  }
 
   // Family enumeration, planned as a flat task list. Most components are
   // one task each (the full enumerate + maximality-select, exactly the
@@ -454,19 +487,15 @@ void MotionPlane::build(const NeighbourSource& source, WorkerPool* pool,
   std::vector<EnumTask> tasks;
   tasks.reserve(comp_count);
   std::vector<std::uint32_t> comp_task_begin(comp_count + 1, 0);
+  const kernels::Ops& ops = kernels::dispatch();
   for (std::size_t ci = 0; ci < comp_count; ++ci) {
     const std::vector<DeviceId>& comp = components[ci];
     std::uint64_t span_weight = 0;
     bool tight = true;
     for (std::size_t t = 0; t < state_.joint_dim(); ++t) {
-      const double* col = state_.joint_col(t);
-      double lo = col[comp[0]];
-      double hi = lo;
-      for (const DeviceId id : comp) {
-        const double x = col[id];
-        lo = std::min(lo, x);
-        hi = std::max(hi, x);
-      }
+      double lo;
+      double hi;
+      ops.minmax_ids(state_.joint_col(t), comp.data(), comp.size(), &lo, &hi);
       const double span = hi - lo;
       if (span > window) tight = false;
       span_weight +=
@@ -501,6 +530,7 @@ void MotionPlane::build(const NeighbourSource& source, WorkerPool* pool,
     // prepare_pool). Lanes are distinct threads, so thread_local is exactly
     // per-lane; the serial loop is one lane reusing one scratch.
     thread_local EnumerationScratch scratch;
+    scratch.covers.budget = &budget_;
     const EnumTask& task = tasks[dispatch[slot]];
     TaskResult& out = results[dispatch[slot]];
     if (task.task_count == 1) {
@@ -551,11 +581,11 @@ void MotionPlane::build(const NeighbourSource& source, WorkerPool* pool,
   EnumerationScratch merge_scratch;
   const auto intern_run = [&](std::span<const DeviceId> run) {
     const MotionId mid = intern(run);
+    motion_component_.push_back(comp_of_[rank_lookup_[run[0]]]);
     const bool dense = run.size() > params_.tau;
     counters_.motions_shared += run.size() - 1;  // one arena run, |M| families
     for (const DeviceId member : run) {
-      const auto rank = static_cast<std::size_t>(
-          std::lower_bound(ids_.begin(), ids_.end(), member) - ids_.begin());
+      const std::uint32_t rank = rank_lookup_[member];
       family_of[rank].push_back(mid);
       if (dense) dense_of[rank].push_back(mid);
     }
@@ -602,6 +632,50 @@ void MotionPlane::build(const NeighbourSource& source, WorkerPool* pool,
     maximal_offsets_.push_back(static_cast<std::uint32_t>(maximal_ids_.size()));
     dense_offsets_.push_back(static_cast<std::uint32_t>(dense_ids_.size()));
   }
+
+  // Membership bitsets over comp-ranks: one word-run per motion, plus per
+  // device the AND of its dense motions' runs (all-ones when the dense
+  // family is empty — the vacuous truth of "every dense motion of ell
+  // contains j"). These are what turn the characterizer's J/L split,
+  // Theorem 6 intersection counts, and Theorem 7 survivor counts into
+  // bit tests, ANDs, and popcounts.
+  const std::size_t motions = motion_count();
+  motion_bits_offsets_.reserve(motions + 1);
+  motion_bits_offsets_.push_back(0);
+  for (MotionId mid = 0; mid < motions; ++mid) {
+    const std::size_t words = component_words(motion_component_[mid]);
+    budget_.charge(words * sizeof(std::uint64_t));
+    const std::size_t at = motion_bits_.size();
+    motion_bits_.resize(at + words, 0);
+    for (const DeviceId member : members(mid)) {
+      const std::uint32_t cr = comp_rank_of_[rank_lookup_[member]];
+      motion_bits_[at + (cr >> 6)] |= 1ULL << (cr & 63);
+    }
+    motion_bits_offsets_.push_back(static_cast<std::uint32_t>(motion_bits_.size()));
+  }
+  inter_bits_offsets_.reserve(m + 1);
+  inter_bits_offsets_.push_back(0);
+  for (std::size_t rank = 0; rank < m; ++rank) {
+    const std::uint32_t ci = comp_of_[rank];
+    const std::size_t comp_size = component_members(ci).size();
+    const std::size_t words = (comp_size + 63) / 64;
+    budget_.charge(words * sizeof(std::uint64_t));
+    const std::size_t at = inter_bits_.size();
+    if (dense_of[rank].empty()) {
+      inter_bits_.resize(at + words, ~std::uint64_t{0});
+      if (comp_size & 63) {
+        inter_bits_.back() = (1ULL << (comp_size & 63)) - 1;  // mask the tail
+      }
+    } else {
+      const auto first = motion_bits(dense_of[rank][0]);
+      inter_bits_.insert(inter_bits_.end(), first.begin(), first.end());
+      for (std::size_t i = 1; i < dense_of[rank].size(); ++i) {
+        const auto run = motion_bits(dense_of[rank][i]);
+        for (std::size_t k = 0; k < words; ++k) inter_bits_[at + k] &= run[k];
+      }
+    }
+    inter_bits_offsets_.push_back(static_cast<std::uint32_t>(inter_bits_.size()));
+  }
 }
 
 std::vector<DeviceId> MotionPlane::within(DeviceId j, double radius) const {
@@ -615,7 +689,7 @@ std::vector<DeviceId> MotionPlane::within(DeviceId j, double radius) const {
 }
 
 bool MotionPlane::covers(DeviceId j) const noexcept {
-  return std::binary_search(ids_.begin(), ids_.end(), j);
+  return j < rank_lookup_.size() && rank_lookup_[j] != kNoRank;
 }
 
 std::span<const DeviceId> MotionPlane::neighbourhood(DeviceId j) const {
@@ -637,17 +711,21 @@ std::span<const MotionPlane::MotionId> MotionPlane::dense(DeviceId j) const {
 }
 
 bool MotionPlane::motion_contains(MotionId m, DeviceId id) const noexcept {
-  const auto run = members(m);
-  return std::binary_search(run.begin(), run.end(), id);
+  // O(1) bit test when id is abnormal and in the motion's component; a
+  // motion can only contain abnormal members, so anything else is a miss.
+  if (id >= rank_lookup_.size()) return false;
+  const std::uint32_t rank = rank_lookup_[id];
+  if (rank == kNoRank || comp_of_[rank] != motion_component_[m]) return false;
+  const std::uint32_t cr = comp_rank_of_[rank];
+  return (motion_bits(m)[cr >> 6] >> (cr & 63)) & 1;
 }
 
 std::size_t MotionPlane::rank_of(DeviceId j) const {
-  const auto it = std::lower_bound(ids_.begin(), ids_.end(), j);
-  if (it == ids_.end() || *it != j) {
+  if (j >= rank_lookup_.size() || rank_lookup_[j] == kNoRank) {
     throw std::invalid_argument("MotionPlane: device " + std::to_string(j) +
                                 " is not in A_k");
   }
-  return static_cast<std::size_t>(it - ids_.begin());
+  return rank_lookup_[j];
 }
 
 MotionPlane::MotionId MotionPlane::intern(std::span<const DeviceId> motion) {
@@ -656,6 +734,7 @@ MotionPlane::MotionId MotionPlane::intern(std::span<const DeviceId> motion) {
   // call appends a new distinct run. The sharing the arena buys is one run
   // serving every member's family list.
   const auto mid = static_cast<MotionId>(motion_count());
+  budget_.charge(motion.size() * sizeof(DeviceId));
   motion_arena_.insert(motion_arena_.end(), motion.begin(), motion.end());
   motion_offsets_.push_back(static_cast<std::uint32_t>(motion_arena_.size()));
   ++counters_.motions_stored;

@@ -28,9 +28,11 @@
 // oracle's pool queries lives here as a free function.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
@@ -42,6 +44,43 @@
 namespace acn {
 
 class WorkerPool;
+
+/// Thrown when a plane build's arena allocations (neighbourhood lists,
+/// window covers, interned motions, membership bitsets) would exceed the
+/// configured byte budget. An adversarial placement at large n can make the
+/// motion-family arenas combinatorially large; this turns what would be an
+/// effectively unrecoverable std::bad_alloc (or an OOM kill) into a clean
+/// per-interval error the engine surfaces as a verdict-safe failure — the
+/// engine state itself is untouched, the next interval builds a new plane.
+class ArenaBudgetExceeded : public std::runtime_error {
+ public:
+  ArenaBudgetExceeded(std::uint64_t attempted, std::uint64_t limit)
+      : std::runtime_error(
+            "MotionPlane: arena budget exceeded (" + std::to_string(attempted) +
+            " bytes needed, limit " + std::to_string(limit) + ")"),
+        attempted_(attempted),
+        limit_(limit) {}
+  [[nodiscard]] std::uint64_t attempted_bytes() const noexcept { return attempted_; }
+  [[nodiscard]] std::uint64_t limit_bytes() const noexcept { return limit_; }
+
+ private:
+  std::uint64_t attempted_;
+  std::uint64_t limit_;
+};
+
+/// Byte meter shared by every arena of one plane build. limit == 0 means
+/// unlimited. charge() is relaxed-atomic: worker lanes charge concurrently,
+/// and the test only needs to trip NEAR the limit, not at an exact byte.
+struct ArenaBudget {
+  std::atomic<std::uint64_t> used{0};
+  std::uint64_t limit = 0;
+
+  void charge(std::uint64_t bytes) {
+    const std::uint64_t total =
+        used.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (limit != 0 && total > limit) throw ArenaBudgetExceeded(total, limit);
+  }
+};
 
 /// Abnormal-neighbourhood provider for the engine-driven plane build: must
 /// answer exactly what a GridIndex over A_k answers — abnormal devices
@@ -122,9 +161,12 @@ class MotionPlane {
   /// are byte-identical for any pool size and any split, and identical to
   /// the from-scratch ctor. `state` and `source` must outlive the plane;
   /// `lanes`, when given, receives per-lane busy times of both fan-outs.
+  /// `arena_budget_bytes` caps the total bytes the build may park in its
+  /// arenas (0 = unlimited); exceeding it throws ArenaBudgetExceeded with
+  /// the plane half-built but the engine state untouched.
   MotionPlane(const StatePair& state, Params params, const NeighbourSource& source,
               WorkerPool* pool = nullptr, std::size_t component_fanout = 2,
-              PlaneBuildLanes* lanes = nullptr);
+              PlaneBuildLanes* lanes = nullptr, std::uint64_t arena_budget_bytes = 0);
 
   [[nodiscard]] const StatePair& state() const noexcept { return state_; }
   [[nodiscard]] const Params& params() const noexcept { return params_; }
@@ -163,6 +205,58 @@ class MotionPlane {
   }
   [[nodiscard]] const OracleCounters& counters() const noexcept { return counters_; }
 
+  // ----- Component-indexed views (the characterizer's bitsliced fast path).
+  // Every motion lives inside one interaction component; within a component
+  // the sorted member list defines a dense rank space ("comp-ranks") small
+  // enough that motion membership is one bitset word-run. Theorem 6/7
+  // decisions then become AND + popcount instead of sorted-run merges.
+
+  /// Number of 2r-interaction components.
+  [[nodiscard]] std::size_t component_count() const noexcept {
+    return comp_member_offsets_.size() - 1;
+  }
+  /// Component index of abnormal device j. Requires covers(j).
+  [[nodiscard]] std::uint32_t component_of(DeviceId j) const {
+    return comp_of_[rank_of(j)];
+  }
+  /// Sorted (ascending) members of component c — the comp-rank universe:
+  /// member i has comp-rank i.
+  [[nodiscard]] std::span<const DeviceId> component_members(std::uint32_t c) const noexcept {
+    return {comp_members_.data() + comp_member_offsets_[c],
+            comp_member_offsets_[c + 1] - comp_member_offsets_[c]};
+  }
+  /// Rank of j within its component's sorted member list.
+  [[nodiscard]] std::uint32_t comp_rank_of(DeviceId j) const {
+    return comp_rank_of_[rank_of(j)];
+  }
+  /// Component index of motion m.
+  [[nodiscard]] std::uint32_t motion_component(MotionId m) const noexcept {
+    return motion_component_[m];
+  }
+  /// Words per comp-rank bitset of component c.
+  [[nodiscard]] std::size_t component_words(std::uint32_t c) const noexcept {
+    return (component_members(c).size() + 63) / 64;
+  }
+  /// Membership bitset of motion m over its component's comp-ranks.
+  [[nodiscard]] std::span<const std::uint64_t> motion_bits(MotionId m) const noexcept {
+    return {motion_bits_.data() + motion_bits_offsets_[m],
+            motion_bits_offsets_[m + 1] - motion_bits_offsets_[m]};
+  }
+  /// AND of the motion_bits of all of j's dense motions (all-ones over j's
+  /// component when the dense family is empty — the vacuous truth the J/L
+  /// split's "every dense motion of ell contains j" test needs). Requires
+  /// covers(j).
+  [[nodiscard]] std::span<const std::uint64_t> dense_intersection_bits(DeviceId j) const {
+    const std::size_t rank = rank_of(j);
+    return {inter_bits_.data() + inter_bits_offsets_[rank],
+            inter_bits_offsets_[rank + 1] - inter_bits_offsets_[rank]};
+  }
+
+  /// Bytes currently parked in the plane's arenas (budget meter reading).
+  [[nodiscard]] std::uint64_t arena_bytes() const noexcept {
+    return budget_.used.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Shared body of both constructors.
   void build(const NeighbourSource& source, WorkerPool* pool,
@@ -191,6 +285,24 @@ class MotionPlane {
   std::vector<std::uint32_t> motion_offsets_;  ///< motion_count() + 1 entries
   std::vector<DeviceId> motion_arena_;
 
+  // Dense id -> A_k-rank lookup (kNoRank for non-abnormal), sized one past
+  // the largest abnormal id: rank_of/covers in O(1) instead of a binary
+  // search — the single hottest call of the characterize phase before this.
+  static constexpr std::uint32_t kNoRank = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> rank_lookup_;
+
+  // Component-indexed arenas (see the accessor block above).
+  std::vector<std::uint32_t> comp_of_;        ///< per rank: component index
+  std::vector<std::uint32_t> comp_rank_of_;   ///< per rank: rank within comp
+  std::vector<std::uint32_t> comp_member_offsets_;  ///< comp_count + 1
+  std::vector<DeviceId> comp_members_;        ///< sorted members, flattened
+  std::vector<std::uint32_t> motion_component_;     ///< per motion
+  std::vector<std::uint32_t> motion_bits_offsets_;  ///< word offsets, count+1
+  std::vector<std::uint64_t> motion_bits_;
+  std::vector<std::uint32_t> inter_bits_offsets_;   ///< word offsets, m+1
+  std::vector<std::uint64_t> inter_bits_;
+
+  mutable ArenaBudget budget_;
   OracleCounters counters_;
 };
 

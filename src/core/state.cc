@@ -41,9 +41,14 @@ StatePair::StatePair(Snapshot prev, Snapshot curr, DeviceSet abnormal)
     joint_.push_back(Point::concat(prev_[j], curr_[j]));
   }
   joint_cols_.resize(joint_dim() * n());
+  qcols_.resize(joint_dim() * n());
   for (std::size_t t = 0; t < joint_dim(); ++t) {
     double* col = joint_cols_.data() + t * n();
-    for (DeviceId j = 0; j < n(); ++j) col[j] = joint_[j][t];
+    std::uint32_t* qcol = qcols_.data() + t * n();
+    for (DeviceId j = 0; j < n(); ++j) {
+      col[j] = joint_[j][t];
+      qcol[j] = kernels::quantize(col[j]);
+    }
   }
 }
 
@@ -86,6 +91,7 @@ void StatePair::advance(Snapshot next, DeviceSet abnormal,
         if (joint[t] != x) {
           joint[t] = x;
           joint_cols_[t * count + j] = x;
+          qcols_[t * count + j] = kernels::quantize(x);
         }
       }
       const Point& current = curr_[j];
@@ -95,6 +101,7 @@ void StatePair::advance(Snapshot next, DeviceSet abnormal,
         if (joint[d + t] != x) {
           joint[d + t] = x;
           joint_cols_[(d + t) * count + j] = x;
+          qcols_[(d + t) * count + j] = kernels::quantize(x);
           changed = true;
         }
       }

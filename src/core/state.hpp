@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/device_set.hpp"
+#include "core/kernels/quantize.hpp"
 #include "core/point.hpp"
 
 namespace acn {
@@ -95,6 +96,22 @@ class StatePair {
     return joint_cols_.data() + dim * n();
   }
 
+  /// Fixed-point mirror of joint_col: qcol(t)[j] == kernels::quantize of
+  /// joint_col(t)[j], maintained incrementally by advance() (only entries
+  /// whose double changed are requantized — O(|moved|) per roll). The SIMD
+  /// window/radius kernels compare these 8 lanes at a time and fall back to
+  /// the doubles only on quantization-boundary ties (see
+  /// core/kernels/quantize.hpp for the byte-identity argument).
+  [[nodiscard]] const std::uint32_t* qcol(std::size_t dim) const noexcept {
+    return qcols_.data() + dim * n();
+  }
+  /// All quantized columns, [dim][device] with row stride n() — the layout
+  /// kernels::Ops::filter_in_radius consumes.
+  [[nodiscard]] const std::uint32_t* qcols() const noexcept { return qcols_.data(); }
+  [[nodiscard]] const double* joint_cols() const noexcept {
+    return joint_cols_.data();
+  }
+
   /// A_k: devices with an abnormal trajectory in [k-1, k].
   [[nodiscard]] const DeviceSet& abnormal() const noexcept { return abnormal_; }
   [[nodiscard]] bool is_abnormal(DeviceId j) const noexcept {
@@ -113,7 +130,8 @@ class StatePair {
   Snapshot curr_;
   DeviceSet abnormal_;
   std::vector<Point> joint_;
-  std::vector<double> joint_cols_;  ///< column-major copy: [dim][device]
+  std::vector<double> joint_cols_;       ///< column-major copy: [dim][device]
+  std::vector<std::uint32_t> qcols_;     ///< quantized mirror of joint_cols_
 };
 
 }  // namespace acn

@@ -52,6 +52,15 @@ else
   done
 fi
 
+# The kernel dispatch the run will use (scalar or avx2, decided by CPUID /
+# ACN_KERNELS at startup) — stamped into every recording's header so two
+# BENCH_*.json files are only ever compared like-for-like. bench_kernels
+# prints it; "unknown" when that binary isn't built.
+kernel_dispatch=unknown
+if [ -x "$build_dir/bench/bench_kernels" ]; then
+  kernel_dispatch=$("$build_dir/bench/bench_kernels" --dispatch 2>/dev/null || echo unknown)
+fi
+
 # Emit a JSON string literal for stdin (escape backslash, quote, newline, tab).
 json_escape() {
   sed -e 's/\\/\\\\/g' -e 's/"/\\"/g' -e 's/\t/\\t/g' |
@@ -169,6 +178,7 @@ for bin in "$@"; do
       printf '  "bench": "%s",\n' "$name"
       printf '  "recorded_at": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
       printf '  "elapsed_seconds": %s,\n' "$elapsed"
+      printf '  "kernel_dispatch": "%s",\n' "$kernel_dispatch"
       printf '  "ok": %s,\n' "$ok"
       printf '  "stdout": "%s"\n' "$(printf '%s' "$output" | json_escape)"
       printf '}\n'
