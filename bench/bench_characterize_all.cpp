@@ -28,12 +28,14 @@
 // `--smoke` runs a single small cell (CI-sized, 4-lane pool over a 3-shard
 // grid) and exits non-zero if the engine (serial or pooled/sharded) ever
 // disagrees with the from-scratch rebuild.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 
 #include "core/characterizer.hpp"
 #include "core/frame.hpp"
+#include "online/monitor.hpp"
 #include "sim/scenario.hpp"
 
 namespace {
@@ -196,6 +198,84 @@ CellResult run_cell(std::size_t n, std::uint32_t errors, std::uint64_t steps,
   return result;
 }
 
+// --- telemetry on/off overhead -------------------------------------------
+
+struct TelemetryOverhead {
+  double off_ms_per_step = 0.0;  ///< min over reps
+  double on_ms_per_step = 0.0;
+  bool identical = true;  ///< every Decision field byte-identical on vs off
+};
+
+bool same_decision(const acn::Decision& a, const acn::Decision& b) {
+  return a.cls == b.cls && a.rule == b.rule && a.exact == b.exact &&
+         a.maximal_motion_count == b.maximal_motion_count &&
+         a.dense_motion_count == b.dense_motion_count &&
+         a.collections_tested == b.collections_tested;
+}
+
+/// Streams one generated scenario through two OnlineMonitors back to back —
+/// telemetry off, then on — and times both. The telemetry layer only reads
+/// interval outputs, so the verdict streams must match field for field;
+/// a mismatch fails the bench (exit code), same as the scratch-vs-engine
+/// conformance above.
+TelemetryOverhead run_telemetry_overhead(std::size_t n, std::uint32_t errors,
+                                         std::uint64_t steps, int reps) {
+  acn::ScenarioParams params;
+  params.n = n;
+  params.errors_per_step = errors;
+  params.seed = 42;
+  std::vector<acn::ScenarioStep> generated;
+  generated.reserve(steps);
+  acn::ScenarioGenerator generator(params);
+  for (std::uint64_t k = 0; k < steps; ++k) generated.push_back(generator.advance());
+
+  const auto run = [&](bool telemetry,
+                       std::vector<acn::IntervalReport>* reports) {
+    acn::OnlineMonitor::Config config;
+    config.model = params.model;
+    if (telemetry) {
+      config.telemetry = acn::obs::TelemetryConfig{.history = 64, .regions = 8};
+    }
+    acn::OnlineMonitor monitor(config);
+    (void)monitor.observe(generated.front().state.prev(), acn::DeviceSet{});
+    const auto start = Clock::now();
+    for (const acn::ScenarioStep& step : generated) {
+      acn::IntervalReport report =
+          monitor.observe(step.state.curr(), step.state.abnormal());
+      if (reports != nullptr) reports->push_back(std::move(report));
+    }
+    return ms_since(start) / static_cast<double>(generated.size());
+  };
+
+  TelemetryOverhead result;
+  std::vector<acn::IntervalReport> off_reports;
+  std::vector<acn::IntervalReport> on_reports;
+  result.off_ms_per_step = run(false, &off_reports);
+  result.on_ms_per_step = run(true, &on_reports);
+  for (int rep = 1; rep < reps; ++rep) {
+    result.off_ms_per_step = std::min(result.off_ms_per_step, run(false, nullptr));
+    result.on_ms_per_step = std::min(result.on_ms_per_step, run(true, nullptr));
+  }
+
+  for (std::size_t k = 0; k < off_reports.size(); ++k) {
+    const acn::IntervalReport& off = off_reports[k];
+    const acn::IntervalReport& on = on_reports[k];
+    if (off.isolated != on.isolated || off.massive != on.massive ||
+        off.unresolved != on.unresolved ||
+        off.decisions.size() != on.decisions.size()) {
+      result.identical = false;
+      continue;
+    }
+    for (const auto& [device, decision] : off.decisions) {
+      const auto it = on.decisions.find(device);
+      if (it == on.decisions.end() || !same_decision(decision, it->second)) {
+        result.identical = false;
+      }
+    }
+  }
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -263,6 +343,33 @@ int main(int argc, char** argv) {
         row.state_mean, row.grid_max, row.grid_mean, row.plane_max,
         row.plane_mean, row.char_max, row.char_mean);
   }
+  // Telemetry overhead: the same stream through the OnlineMonitor with the
+  // telemetry layer off, then on, back to back (min over reps). The rows
+  // are embedded JSON so record_bench.sh's regression gate joins them by
+  // "name" like the hostile bench's rows.
+  const std::size_t tel_n = smoke ? 1000 : 20000;
+  const std::uint32_t tel_a = smoke ? 10 : 80;
+  const std::uint64_t tel_steps = smoke ? 2 : 4;
+  const int tel_reps = smoke ? 2 : 3;
+  const TelemetryOverhead tel =
+      run_telemetry_overhead(tel_n, tel_a, tel_steps, tel_reps);
+  const double overhead_pct =
+      tel.off_ms_per_step == 0.0
+          ? 0.0
+          : 100.0 * (tel.on_ms_per_step - tel.off_ms_per_step) /
+                tel.off_ms_per_step;
+  std::printf(
+      "\n# telemetry overhead (OnlineMonitor, n=%zu A=%u, back-to-back, min "
+      "of %d reps; verdicts must match field for field)\n",
+      tel_n, tel_a, tel_reps);
+  std::printf("{\"name\":\"telemetry-off\",\"ms_per_step\":%.3f}\n",
+              tel.off_ms_per_step);
+  std::printf(
+      "{\"name\":\"telemetry-on\",\"ms_per_step\":%.3f,\"overhead_pct\":%.2f,"
+      "\"identical\":%s}\n",
+      tel.on_ms_per_step, overhead_pct, tel.identical ? "true" : "false");
+  all_ok = all_ok && tel.identical;
+
   std::fflush(stdout);
   return all_ok ? 0 : 1;
 }

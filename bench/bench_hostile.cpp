@@ -5,9 +5,13 @@
 // injected ground truth, per-class verdict precision/recall, the
 // BudgetExhausted rate, and the characterization cost in ms/interval.
 //
-// Usage: bench_hostile [--smoke] [--json]
-//   --smoke  6 intervals per family instead of 40 (CI-friendly)
-//   --json   emit ONLY the machine-readable JSON payload
+// Usage: bench_hostile [--smoke] [--json] [--telemetry <path>]
+//   --smoke            6 intervals per family instead of 40 (CI-friendly)
+//   --json             emit ONLY the machine-readable JSON payload
+//   --telemetry <path> additionally replay every family through a
+//                      telemetry-enabled monitor and write the per-family
+//                      acn.telemetry.v1 dumps to <path> (the nightly
+//                      pipeline uploads this as an artifact)
 //
 // A budget-sweep section reruns the superposition-bomb family (the family
 // built to blow through Corollary 8's search budget) across a node_budget
@@ -33,7 +37,9 @@
 #include "common/table.hpp"
 #include "core/characterizer.hpp"
 #include "ingest/pipeline.hpp"
+#include "obs/export.hpp"
 #include "sim/hostile.hpp"
+#include "sim/metrics.hpp"
 #include "sim/report_source.hpp"
 
 namespace {
@@ -60,9 +66,13 @@ struct FamilyResult {
   std::uint64_t intervals = 0;
 };
 
-double ratio(std::uint64_t hits, std::uint64_t total) {
-  return total == 0 ? 1.0 : static_cast<double>(hits) / static_cast<double>(total);
-}
+// Precision/recall denominators CAN be zero here (a family that fabricates
+// no flags, a budget row with no truly-isolated device in its window):
+// safe_ratio makes that an explicit null/"n/a" instead of a fake 1.0 or a
+// NaN that would break the JSON payload.
+using acn::fmt_ratio;
+using acn::json_ratio;
+using acn::safe_ratio;
 
 FamilyResult run_family(const acn::HostileSpec& spec, int intervals,
                         const acn::CharacterizeOptions& options = {}) {
@@ -306,6 +316,43 @@ std::vector<DeliveryResult> run_delivery_section(std::size_t n,
   return results;
 }
 
+// --- telemetry dump ------------------------------------------------------
+
+/// Replays every hostile family through a telemetry-enabled OnlineMonitor
+/// and renders the per-family acn.telemetry.v1 documents into one JSON
+/// file — the artifact the nightly pipeline uploads, and the quickest way
+/// to eyeball what the telemetry layer sees under each fault family.
+void write_telemetry_dump(const char* path, std::size_t n, std::uint64_t seed,
+                          int intervals) {
+  std::string out = "{\"bench\":\"hostile-telemetry\",\"families\":[";
+  bool first = true;
+  for (const acn::HostileSpec& spec : acn::standard_hostile_suite(n, seed)) {
+    acn::HostileScenario scenario(spec.params);
+    acn::OnlineMonitor::Config config;
+    config.model = spec.params.base.model;
+    config.telemetry = acn::obs::TelemetryConfig{.history = 128, .regions = 8};
+    acn::OnlineMonitor monitor(config);
+    (void)monitor.observe(scenario.initial(), acn::DeviceSet{});
+    for (int k = 0; k < intervals; ++k) {
+      acn::HostileStep step = scenario.advance();
+      (void)monitor.observe(std::move(step.observed), step.abnormal);
+    }
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + spec.name + "\",\"telemetry\":";
+    out += acn::obs::to_json(*monitor.telemetry());
+    out += '}';
+  }
+  out += "]}\n";
+  std::FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    std::exit(2);
+  }
+  std::fwrite(out.data(), 1, out.size(), file);
+  std::fclose(file);
+}
+
 void print_json(const std::vector<FamilyResult>& results,
                 const std::vector<BudgetRow>& budget_sweep,
                 const std::vector<DeliveryResult>& delivery, std::size_t n,
@@ -317,20 +364,22 @@ void print_json(const std::vector<FamilyResult>& results,
     const FamilyResult& r = results[i];
     std::printf(
         "%s{\"name\":\"%s\",\"violates\":\"%s\","
-        "\"detection_precision\":%.4f,\"detection_recall\":%.4f,"
-        "\"isolated_precision\":%.4f,\"isolated_recall\":%.4f,"
-        "\"massive_precision\":%.4f,\"massive_recall\":%.4f,"
-        "\"unresolved_rate\":%.4f,\"budget_exhausted_rate\":%.4f,"
+        "\"detection_precision\":%s,\"detection_recall\":%s,"
+        "\"isolated_precision\":%s,\"isolated_recall\":%s,"
+        "\"massive_precision\":%s,\"massive_recall\":%s,"
+        "\"unresolved_rate\":%s,\"budget_exhausted_rate\":%s,"
         "\"decisions\":%llu,\"ms_per_step\":%.3f}",
         i == 0 ? "" : ",", r.name.c_str(), r.violates.c_str(),
-        ratio(r.flagged_true, r.flagged),
-        ratio(r.flagged_true, r.truth_abnormal),
-        ratio(r.isolated_correct, r.isolated_verdicts),
-        ratio(r.isolated_recalled, r.truly_isolated_flagged),
-        ratio(r.massive_correct, r.massive_verdicts),
-        ratio(r.massive_recalled, r.truly_massive_flagged),
-        ratio(r.unresolved_verdicts, r.decisions),
-        ratio(r.budget_exhausted, r.decisions),
+        json_ratio(safe_ratio(r.flagged_true, r.flagged)).c_str(),
+        json_ratio(safe_ratio(r.flagged_true, r.truth_abnormal)).c_str(),
+        json_ratio(safe_ratio(r.isolated_correct, r.isolated_verdicts)).c_str(),
+        json_ratio(safe_ratio(r.isolated_recalled, r.truly_isolated_flagged))
+            .c_str(),
+        json_ratio(safe_ratio(r.massive_correct, r.massive_verdicts)).c_str(),
+        json_ratio(safe_ratio(r.massive_recalled, r.truly_massive_flagged))
+            .c_str(),
+        json_ratio(safe_ratio(r.unresolved_verdicts, r.decisions)).c_str(),
+        json_ratio(safe_ratio(r.budget_exhausted, r.decisions)).c_str(),
         static_cast<unsigned long long>(r.decisions),
         r.intervals == 0 ? 0.0 : r.total_ms / static_cast<double>(r.intervals));
   }
@@ -340,14 +389,16 @@ void print_json(const std::vector<FamilyResult>& results,
     const FamilyResult& r = row.result;
     std::printf(
         "%s{\"node_budget\":%llu,"
-        "\"unresolved_rate\":%.4f,\"budget_exhausted_rate\":%.4f,"
-        "\"isolated_recall\":%.4f,\"massive_recall\":%.4f,"
+        "\"unresolved_rate\":%s,\"budget_exhausted_rate\":%s,"
+        "\"isolated_recall\":%s,\"massive_recall\":%s,"
         "\"ms_per_step\":%.3f}",
         i == 0 ? "" : ",", static_cast<unsigned long long>(row.node_budget),
-        ratio(r.unresolved_verdicts, r.decisions),
-        ratio(r.budget_exhausted, r.decisions),
-        ratio(r.isolated_recalled, r.truly_isolated_flagged),
-        ratio(r.massive_recalled, r.truly_massive_flagged),
+        json_ratio(safe_ratio(r.unresolved_verdicts, r.decisions)).c_str(),
+        json_ratio(safe_ratio(r.budget_exhausted, r.decisions)).c_str(),
+        json_ratio(safe_ratio(r.isolated_recalled, r.truly_isolated_flagged))
+            .c_str(),
+        json_ratio(safe_ratio(r.massive_recalled, r.truly_massive_flagged))
+            .c_str(),
         r.intervals == 0 ? 0.0 : r.total_ms / static_cast<double>(r.intervals));
   }
   std::printf("],\"delivery\":[");
@@ -378,11 +429,15 @@ void print_json(const std::vector<FamilyResult>& results,
 int main(int argc, char** argv) {
   bool smoke = false;
   bool json_only = false;
+  const char* telemetry_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     else if (std::strcmp(argv[i], "--json") == 0) json_only = true;
-    else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--json]\n", argv[0]);
+    else if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc) {
+      telemetry_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json] [--telemetry <path>]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -398,6 +453,9 @@ int main(int argc, char** argv) {
   const std::vector<BudgetRow> budget_sweep = run_budget_sweep(n, seed, intervals);
   const std::vector<DeliveryResult> delivery =
       run_delivery_section(n, seed, intervals);
+  if (telemetry_path != nullptr) {
+    write_telemetry_dump(telemetry_path, n, seed, intervals);
+  }
 
   if (!json_only) {
     std::printf(
@@ -409,14 +467,14 @@ int main(int argc, char** argv) {
                       "mas R", "unres %", "budget %", "ms/step"});
     for (const FamilyResult& r : results) {
       table.add_row(
-          {r.name, acn::fmt(ratio(r.flagged_true, r.flagged), 3),
-           acn::fmt(ratio(r.flagged_true, r.truth_abnormal), 3),
-           acn::fmt(ratio(r.isolated_correct, r.isolated_verdicts), 3),
-           acn::fmt(ratio(r.isolated_recalled, r.truly_isolated_flagged), 3),
-           acn::fmt(ratio(r.massive_correct, r.massive_verdicts), 3),
-           acn::fmt(ratio(r.massive_recalled, r.truly_massive_flagged), 3),
-           acn::fmt(100.0 * ratio(r.unresolved_verdicts, r.decisions), 1),
-           acn::fmt(100.0 * ratio(r.budget_exhausted, r.decisions), 1),
+          {r.name, fmt_ratio(safe_ratio(r.flagged_true, r.flagged)),
+           fmt_ratio(safe_ratio(r.flagged_true, r.truth_abnormal)),
+           fmt_ratio(safe_ratio(r.isolated_correct, r.isolated_verdicts)),
+           fmt_ratio(safe_ratio(r.isolated_recalled, r.truly_isolated_flagged)),
+           fmt_ratio(safe_ratio(r.massive_correct, r.massive_verdicts)),
+           fmt_ratio(safe_ratio(r.massive_recalled, r.truly_massive_flagged)),
+           fmt_ratio(safe_ratio(r.unresolved_verdicts, r.decisions), 1, 100.0),
+           fmt_ratio(safe_ratio(r.budget_exhausted, r.decisions), 1, 100.0),
            acn::fmt(r.intervals == 0
                         ? 0.0
                         : r.total_ms / static_cast<double>(r.intervals),
@@ -440,10 +498,10 @@ int main(int argc, char** argv) {
       const FamilyResult& r = row.result;
       budget_table.add_row(
           {std::to_string(row.node_budget),
-           acn::fmt(100.0 * ratio(r.unresolved_verdicts, r.decisions), 1),
-           acn::fmt(100.0 * ratio(r.budget_exhausted, r.decisions), 1),
-           acn::fmt(ratio(r.isolated_recalled, r.truly_isolated_flagged), 3),
-           acn::fmt(ratio(r.massive_recalled, r.truly_massive_flagged), 3),
+           fmt_ratio(safe_ratio(r.unresolved_verdicts, r.decisions), 1, 100.0),
+           fmt_ratio(safe_ratio(r.budget_exhausted, r.decisions), 1, 100.0),
+           fmt_ratio(safe_ratio(r.isolated_recalled, r.truly_isolated_flagged)),
+           fmt_ratio(safe_ratio(r.massive_recalled, r.truly_massive_flagged)),
            acn::fmt(r.intervals == 0
                         ? 0.0
                         : r.total_ms / static_cast<double>(r.intervals),

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "obs/telemetry.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scenario.hpp"
 
@@ -18,7 +19,8 @@ struct HarnessResult {
 
 inline HarnessResult run_scenario(const ScenarioParams& params, std::uint64_t steps,
                                   const CharacterizeOptions& options = {},
-                                  unsigned threads = 1) {
+                                  unsigned threads = 1,
+                                  obs::TelemetryHub* hub = nullptr) {
   HarnessResult result;
   ScenarioGenerator generator(params);
   // One incremental engine per run: the generator's stream is contiguous,
@@ -31,6 +33,17 @@ inline HarnessResult run_scenario(const ScenarioParams& params, std::uint64_t st
     const ScenarioStep step = generator.advance();
     result.metrics.add(evaluate_step(engine, step));
     result.dropped_errors += step.truth.dropped_errors;
+    if (hub != nullptr) {
+      // Engine-side telemetry for the bench runs: the per-step spans and
+      // kernel counters (verdict mix lives in result.metrics here — the
+      // full record is the OnlineMonitor's job).
+      const FrameStats& stats = engine.last_stats();
+      obs::IntervalTelemetry record =
+          obs::frame_record(k, stats.total_ms(), stats);
+      record.devices = static_cast<std::uint32_t>(params.n);
+      record.abnormal = static_cast<std::uint32_t>(stats.abnormal);
+      hub->record(std::move(record));
+    }
   }
   result.steps = steps;
   return result;

@@ -132,6 +132,12 @@ struct FrameStats {
   /// summed; see kernels::Counters — cycles stays 0 unless
   /// ACN_KERNEL_CYCLES=1 was set at startup).
   kernels::Counters kernel;
+
+  /// Sum of the phase timers: the engine-side wall clock of one interval
+  /// (halo_ms is a slice of grid_ms, so it is not added again).
+  [[nodiscard]] double total_ms() const noexcept {
+    return state_ms + grid_ms + plane_ms + characterize_ms;
+  }
 };
 
 /// A closed interval as handed down from the ingestion layer: the

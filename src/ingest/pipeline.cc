@@ -265,6 +265,26 @@ void IngestPipeline::seal(std::uint64_t interval, bool forced) {
 
   closed.degraded = degraded;
   closed.report = monitor_.close_interval(flagged, degraded);
+
+  // Telemetry: annotate the interval the monitor just recorded with what
+  // ingestion did to it — the per-seal deltas of the cumulative counters
+  // plus the watermark distance and queue depth at the seal.
+  if (obs::TelemetryHub* hub = monitor_.telemetry()) {
+    obs::IngestSample sample;
+    sample.seal_lag = max_seen_ > interval ? max_seen_ - interval : 0;
+    sample.forced = forced;
+    sample.reported = closed.reported;
+    sample.replayed = closed.replayed;
+    sample.deferred = closed.deferred.size();
+    sample.retired = closed.retired.size();
+    sample.late_sealed = counters_.late_sealed - telemetry_baseline_.late_sealed;
+    sample.duplicates = counters_.duplicates - telemetry_baseline_.duplicates;
+    sample.shed_claims = counters_.shed_claims - telemetry_baseline_.shed_claims;
+    sample.open_intervals = frames_.size();
+    telemetry_baseline_ = counters_;
+    hub->annotate_ingest(closed.report.interval, sample);
+  }
+
   ready_.push_back(std::move(closed));
   ++next_to_seal_;
 }

@@ -187,6 +187,9 @@ class IngestPipeline {
   bool shed_possible_ = false;
   std::vector<ClosedInterval> ready_;
   IngestCounters counters_;
+  /// Counter values at the previous seal — the per-interval deltas the
+  /// telemetry layer's IngestSample carries (see seal()).
+  IngestCounters telemetry_baseline_;
   std::uint64_t next_to_seal_ = 1;
   std::uint64_t max_seen_ = 0;
   std::uint64_t tick_ = 0;

@@ -1,0 +1,134 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace acn::obs {
+
+MetricsRegistry::MetricsRegistry(unsigned lanes) {
+  if (lanes == 0) lanes = 1;
+  lanes_.resize(lanes);
+}
+
+void MetricsRegistry::grow(std::size_t slots) {
+  const std::size_t total = slot_count_ + slots;
+  for (auto& lane : lanes_) {
+    auto fresh = std::make_unique<std::atomic<std::uint64_t>[]>(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      fresh[i].store(i < slot_count_ && lane
+                         ? lane[i].load(std::memory_order_relaxed)
+                         : 0,
+                     std::memory_order_relaxed);
+    }
+    lane = std::move(fresh);
+  }
+  slot_count_ = total;
+}
+
+MetricId MetricsRegistry::register_metric(Metric meta, std::size_t width) {
+  const MetricId id = static_cast<MetricId>(metrics_.size());
+  slots_.push_back(Slot{slot_count_, width});
+  grow(width);
+  metrics_.push_back(std::move(meta));
+  return id;
+}
+
+MetricId MetricsRegistry::counter(std::string name, std::string help) {
+  return register_metric(
+      Metric{std::move(name), std::move(help), MetricKind::kCounter, {}}, 1);
+}
+
+MetricId MetricsRegistry::gauge(std::string name, std::string help) {
+  return register_metric(
+      Metric{std::move(name), std::move(help), MetricKind::kGauge, {}}, 1);
+}
+
+MetricId MetricsRegistry::histogram(std::string name, std::string help,
+                                    std::vector<double> bounds) {
+  if (bounds.empty()) {
+    throw std::invalid_argument("histogram: at least one bucket bound");
+  }
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    if (bounds[i] <= bounds[i - 1]) {
+      throw std::invalid_argument("histogram: bounds must be ascending");
+    }
+  }
+  // Layout per lane: bounds.size()+1 bucket counts, sample count, sum bits.
+  const std::size_t width = bounds.size() + 3;
+  return register_metric(Metric{std::move(name), std::move(help),
+                                MetricKind::kHistogram, std::move(bounds)},
+                         width);
+}
+
+void MetricsRegistry::add(MetricId id, std::uint64_t delta,
+                          unsigned lane) noexcept {
+  lanes_[lane % lanes_.size()][slots_[id].offset].fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::set(MetricId id, double value) noexcept {
+  // Gauges are a single level, not a per-lane accumulation: lane 0 only.
+  lanes_[0][slots_[id].offset].store(std::bit_cast<std::uint64_t>(value),
+                                     std::memory_order_relaxed);
+}
+
+void MetricsRegistry::observe(MetricId id, double value,
+                              unsigned lane) noexcept {
+  const Slot& slot = slots_[id];
+  const std::vector<double>& bounds = metrics_[id].bounds;
+  std::size_t bucket = bounds.size();  // +Inf
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (value <= bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  std::atomic<std::uint64_t>* base =
+      &lanes_[lane % lanes_.size()][slot.offset];
+  base[bucket].fetch_add(1, std::memory_order_relaxed);
+  base[bounds.size() + 1].fetch_add(1, std::memory_order_relaxed);
+  // Sum accumulates double bits via CAS (portable pre-C++20 fetch_add on
+  // floating atomics, and identical memory semantics).
+  std::atomic<std::uint64_t>& sum = base[bounds.size() + 2];
+  std::uint64_t bits = sum.load(std::memory_order_relaxed);
+  while (!sum.compare_exchange_weak(
+      bits, std::bit_cast<std::uint64_t>(std::bit_cast<double>(bits) + value),
+      std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<MetricsRegistry::Value> MetricsRegistry::snapshot() const {
+  std::vector<Value> values(metrics_.size());
+  for (MetricId id = 0; id < metrics_.size(); ++id) {
+    const Slot& slot = slots_[id];
+    Value& out = values[id];
+    switch (metrics_[id].kind) {
+      case MetricKind::kCounter:
+        for (const auto& lane : lanes_) {
+          out.count += lane[slot.offset].load(std::memory_order_relaxed);
+        }
+        break;
+      case MetricKind::kGauge:
+        out.value = std::bit_cast<double>(
+            lanes_[0][slot.offset].load(std::memory_order_relaxed));
+        break;
+      case MetricKind::kHistogram: {
+        const std::size_t buckets = metrics_[id].bounds.size() + 1;
+        out.buckets.assign(buckets, 0);
+        for (const auto& lane : lanes_) {
+          const std::atomic<std::uint64_t>* base = &lane[slot.offset];
+          for (std::size_t b = 0; b < buckets; ++b) {
+            out.buckets[b] += base[b].load(std::memory_order_relaxed);
+          }
+          out.count += base[buckets].load(std::memory_order_relaxed);
+          out.value += std::bit_cast<double>(
+              base[buckets + 1].load(std::memory_order_relaxed));
+        }
+        break;
+      }
+    }
+  }
+  return values;
+}
+
+}  // namespace acn::obs

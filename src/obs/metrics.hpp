@@ -1,0 +1,111 @@
+// MetricsRegistry: the lock-cheap metric substrate of the telemetry layer.
+//
+// Three metric kinds — monotone counters, last-write gauges, and
+// fixed-bucket histograms — registered once at setup time and written from
+// the hot path without a lock or an allocation. Counter and histogram
+// storage is sharded per lane (one shard per worker lane plus the control
+// thread); every slot is a relaxed std::atomic, so concurrent writers on
+// different lanes never contend on a cache line they share with a mutex,
+// and the interval-close reader can merge the shards WHILE writers are
+// still incrementing (TSan-clean by construction; the snapshot is a sum of
+// per-slot atomic loads, monotone but not a cross-slot consistent cut —
+// exactly the semantics a scrape endpoint needs). Gauges are a single
+// atomic slot: they carry "current level" readings set from the sealing
+// thread, not per-lane accumulations.
+//
+// The registration phase and the hot path are temporally separated by
+// contract: register every metric before the stream starts (registration
+// reallocates the slot arrays; add()/observe() index them wait-free
+// afterwards). TelemetryHub registers the standard metric set in its
+// constructor; deployments may add their own before the first interval.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace acn::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Dense handle assigned at registration, stable for the registry's life.
+using MetricId = std::uint32_t;
+
+class MetricsRegistry {
+ public:
+  /// `lanes` shards the counter/histogram storage: writers pass their lane
+  /// index (< lanes) to add()/observe(); distinct lanes never touch the
+  /// same slot. One lane is enough for a single-threaded producer.
+  explicit MetricsRegistry(unsigned lanes = 1);
+
+  // --- registration (setup phase; NOT safe concurrently with writes) ---
+
+  /// Monotone counter. `name` must be a valid Prometheus metric name
+  /// (conventionally ..._total); `help` becomes the # HELP line.
+  MetricId counter(std::string name, std::string help);
+  /// Point-in-time level, set (not accumulated) by the control thread.
+  MetricId gauge(std::string name, std::string help);
+  /// Fixed-bucket histogram; `bounds` are ascending upper bounds (the
+  /// +Inf bucket is implicit). Throws std::invalid_argument if empty or
+  /// not strictly ascending.
+  MetricId histogram(std::string name, std::string help,
+                     std::vector<double> bounds);
+
+  // --- hot path (wait-free; lane < lanes()) ---
+
+  /// Counter increment on the caller's lane shard.
+  void add(MetricId id, std::uint64_t delta = 1, unsigned lane = 0) noexcept;
+  /// Gauge overwrite (single slot, last write wins).
+  void set(MetricId id, double value) noexcept;
+  /// Histogram sample on the caller's lane shard.
+  void observe(MetricId id, double value, unsigned lane = 0) noexcept;
+
+  // --- interval-close / scrape side ---
+
+  struct Metric {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    std::vector<double> bounds;  ///< histogram upper bounds (else empty)
+  };
+
+  /// Merged value of one metric: counters fill `count`; gauges fill
+  /// `value`; histograms fill per-bucket counts (bounds order, +Inf last)
+  /// plus `count` (samples) and `value` (sum of samples).
+  struct Value {
+    std::uint64_t count = 0;
+    double value = 0.0;
+    std::vector<std::uint64_t> buckets;
+  };
+
+  /// Sums every lane shard; indexable by MetricId. Safe to call while
+  /// writers are running (each slot is read atomically; counters are
+  /// monotone between calls).
+  [[nodiscard]] std::vector<Value> snapshot() const;
+
+  [[nodiscard]] const std::vector<Metric>& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] unsigned lanes() const noexcept {
+    return static_cast<unsigned>(lanes_.size());
+  }
+
+ private:
+  struct Slot {
+    std::size_t offset = 0;  ///< first slot in each lane's array
+    std::size_t width = 0;   ///< slots: 1 counter, 1 gauge, buckets+2 histogram
+  };
+
+  MetricId register_metric(Metric meta, std::size_t width);
+  void grow(std::size_t slots);
+
+  std::vector<Metric> metrics_;
+  std::vector<Slot> slots_;
+  std::size_t slot_count_ = 0;
+  /// Per-lane slot arrays (gauges live in lane 0 only — see set()).
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>[]>> lanes_;
+};
+
+}  // namespace acn::obs

@@ -1,0 +1,206 @@
+#include "obs/store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace acn::obs {
+
+TelemetryStore::TelemetryStore(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void TelemetryStore::push(IntervalTelemetry record) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    return;
+  }
+  // Overwrite the oldest slot; head_ walks the ring so from_latest() can
+  // recover recency order without ever moving records.
+  ring_[head_] = std::move(record);
+  head_ = (head_ + 1) % capacity_;
+}
+
+IntervalTelemetry* TelemetryStore::find(std::uint64_t interval) noexcept {
+  for (IntervalTelemetry& record : ring_) {
+    if (record.interval == interval) return &record;
+  }
+  return nullptr;
+}
+
+const IntervalTelemetry& TelemetryStore::latest() const noexcept {
+  return from_latest(0);
+}
+
+const IntervalTelemetry& TelemetryStore::from_latest(
+    std::size_t i) const noexcept {
+  // Newest slot is just behind head_ (or the vector back while filling).
+  const std::size_t newest =
+      ring_.size() < capacity_ ? ring_.size() - 1
+                               : (head_ + capacity_ - 1) % capacity_;
+  return ring_[(newest + ring_.size() - i) % ring_.size()];
+}
+
+TelemetryStore::VerdictMix TelemetryStore::verdict_mix(
+    std::size_t window) const {
+  VerdictMix mix;
+  const std::size_t count = clamp(window);
+  for (std::size_t i = 0; i < count; ++i) {
+    const IntervalTelemetry& r = from_latest(i);
+    ++mix.intervals;
+    mix.abnormal += r.abnormal;
+    mix.isolated += r.isolated;
+    mix.massive += r.massive;
+    mix.unresolved += r.unresolved;
+    mix.budget_exhausted += r.budget_exhausted;
+  }
+  return mix;
+}
+
+double TelemetryStore::anomaly_rate(std::size_t window) const {
+  std::uint64_t abnormal = 0;
+  std::uint64_t devices = 0;
+  const std::size_t count = clamp(window);
+  for (std::size_t i = 0; i < count; ++i) {
+    const IntervalTelemetry& r = from_latest(i);
+    abnormal += r.abnormal;
+    devices += r.devices;
+  }
+  return devices == 0 ? 0.0
+                      : static_cast<double>(abnormal) /
+                            static_cast<double>(devices);
+}
+
+double TelemetryStore::region_anomaly_rate(std::uint32_t region,
+                                           std::size_t window) const {
+  std::uint64_t abnormal = 0;
+  std::uint64_t devices = 0;
+  const std::size_t count = clamp(window);
+  for (std::size_t i = 0; i < count; ++i) {
+    const IntervalTelemetry& r = from_latest(i);
+    if (region >= r.regions.size()) continue;
+    abnormal += r.regions[region].abnormal;
+    devices += r.regions[region].devices;
+  }
+  return devices == 0 ? 0.0
+                      : static_cast<double>(abnormal) /
+                            static_cast<double>(devices);
+}
+
+std::vector<RegionStats> TelemetryStore::region_totals(
+    std::size_t window) const {
+  std::vector<RegionStats> totals;
+  const std::size_t count = clamp(window);
+  for (std::size_t i = 0; i < count; ++i) {
+    const IntervalTelemetry& r = from_latest(i);
+    if (r.regions.size() > totals.size()) totals.resize(r.regions.size());
+    for (std::size_t g = 0; g < r.regions.size(); ++g) {
+      totals[g].devices += r.regions[g].devices;
+      totals[g].abnormal += r.regions[g].abnormal;
+      totals[g].isolated += r.regions[g].isolated;
+      totals[g].massive += r.regions[g].massive;
+      totals[g].unresolved += r.regions[g].unresolved;
+    }
+  }
+  return totals;
+}
+
+double TelemetryStore::degraded_rate(std::size_t window) const {
+  const std::size_t count = clamp(window);
+  if (count == 0) return 0.0;
+  std::size_t degraded = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (from_latest(i).degraded) ++degraded;
+  }
+  return static_cast<double>(degraded) / static_cast<double>(count);
+}
+
+double TelemetryStore::budget_exhausted_rate(std::size_t window) const {
+  const VerdictMix mix = verdict_mix(window);
+  return mix.abnormal == 0 ? 0.0
+                           : static_cast<double>(mix.budget_exhausted) /
+                                 static_cast<double>(mix.abnormal);
+}
+
+TelemetryStore::Percentiles TelemetryStore::step_ms_percentiles(
+    std::size_t window) const {
+  Percentiles out;
+  const std::size_t count = clamp(window);
+  if (count == 0) return out;
+  std::vector<double> ms;
+  ms.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ms.push_back(from_latest(i).total_ms);
+  }
+  std::sort(ms.begin(), ms.end());
+  const auto at = [&](double q) {
+    // Nearest-rank with linear interpolation (matches SampleSet::quantile).
+    const double pos = q * static_cast<double>(ms.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, ms.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return ms[lo] + (ms[hi] - ms[lo]) * frac;
+  };
+  out.p50 = at(0.50);
+  out.p90 = at(0.90);
+  out.p99 = at(0.99);
+  out.max = ms.back();
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, double>> TelemetryStore::series(
+    std::string_view dimension, std::size_t window) const {
+  double (*value)(const IntervalTelemetry&) = nullptr;
+  if (dimension == "ms") {
+    value = [](const IntervalTelemetry& r) { return r.total_ms; };
+  } else if (dimension == "abnormal") {
+    value = [](const IntervalTelemetry& r) {
+      return static_cast<double>(r.abnormal);
+    };
+  } else if (dimension == "isolated") {
+    value = [](const IntervalTelemetry& r) {
+      return static_cast<double>(r.isolated);
+    };
+  } else if (dimension == "massive") {
+    value = [](const IntervalTelemetry& r) {
+      return static_cast<double>(r.massive);
+    };
+  } else if (dimension == "unresolved") {
+    value = [](const IntervalTelemetry& r) {
+      return static_cast<double>(r.unresolved);
+    };
+  } else if (dimension == "anomaly_rate") {
+    value = [](const IntervalTelemetry& r) {
+      return r.devices == 0 ? 0.0
+                            : static_cast<double>(r.abnormal) /
+                                  static_cast<double>(r.devices);
+    };
+  } else if (dimension == "degraded") {
+    value = [](const IntervalTelemetry& r) { return r.degraded ? 1.0 : 0.0; };
+  } else if (dimension == "moved") {
+    value = [](const IntervalTelemetry& r) {
+      return static_cast<double>(r.moved);
+    };
+  } else if (dimension == "components") {
+    value = [](const IntervalTelemetry& r) {
+      return static_cast<double>(r.components);
+    };
+  } else if (dimension == "episodes_open") {
+    value = [](const IntervalTelemetry& r) {
+      return static_cast<double>(r.episodes_open);
+    };
+  } else {
+    throw std::invalid_argument("TelemetryStore::series: unknown dimension '" +
+                                std::string(dimension) + "'");
+  }
+  const std::size_t count = clamp(window);
+  std::vector<std::pair<std::uint64_t, double>> points;
+  points.reserve(count);
+  for (std::size_t i = count; i > 0; --i) {  // oldest first
+    const IntervalTelemetry& r = from_latest(i - 1);
+    points.emplace_back(r.interval, value(r));
+  }
+  return points;
+}
+
+}  // namespace acn::obs

@@ -1,5 +1,6 @@
 #include "online/monitor.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -15,6 +16,9 @@ OnlineMonitor::OnlineMonitor(Config config)
   if (config_.adaptive.has_value()) sampler_.emplace(*config_.adaptive);
   if (config_.roster_capacity > 0) {
     roster_.emplace(config_.roster_capacity, config_.roster_dim);
+  }
+  if (config_.telemetry.has_value()) {
+    hub_ = std::make_unique<obs::TelemetryHub>(*config_.telemetry);
   }
 }
 
@@ -74,6 +78,14 @@ const FleetRoster& OnlineMonitor::roster() const {
 IntervalReport OnlineMonitor::observe(Snapshot positions,
                                       const DeviceSet& abnormal,
                                       bool degraded) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = hub_ ? Clock::now() : Clock::time_point{};
+  // Episode-transition baselines: open + closed only ever grows by one per
+  // episode opened, closed only by one per episode closed.
+  const std::size_t episodes_started_before =
+      hub_ ? episodes_.closed().size() + episodes_.open_count() : 0;
+  const std::size_t episodes_closed_before = hub_ ? episodes_.closed().size() : 0;
+
   IntervalReport report;
   report.interval = interval_;
   report.abnormal = abnormal;
@@ -106,6 +118,38 @@ IntervalReport OnlineMonitor::observe(Snapshot positions,
   episodes_.observe(interval_, verdict_of);
   if (sampler_.has_value()) {
     (void)sampler_->next_interval(!report.abnormal.empty());
+  }
+
+  // Telemetry reads only the interval's OUTPUTS (report sets, engine stats,
+  // episode tallies), after every decision has been made — it cannot change
+  // a verdict byte (tests/obs/telemetry_conformance_test.cc pins this).
+  if (hub_) {
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+    obs::IntervalTelemetry record =
+        obs::frame_record(interval_, ms, engine_.last_stats());
+    const Snapshot& fleet = engine_.state().curr();
+    record.devices = static_cast<std::uint32_t>(fleet.size());
+    record.abnormal = static_cast<std::uint32_t>(report.abnormal.size());
+    record.isolated = static_cast<std::uint32_t>(report.isolated.size());
+    record.massive = static_cast<std::uint32_t>(report.massive.size());
+    record.unresolved = static_cast<std::uint32_t>(report.unresolved.size());
+    for (const auto& [device, decision] : report.decisions) {
+      if (decision.rule == DecisionRule::kBudgetExhausted) {
+        ++record.budget_exhausted;
+      }
+    }
+    record.degraded = degraded;
+    record.episodes_closed = static_cast<std::uint32_t>(
+        episodes_.closed().size() - episodes_closed_before);
+    record.episodes_opened = static_cast<std::uint32_t>(
+        episodes_.closed().size() + episodes_.open_count() -
+        episodes_started_before);
+    record.episodes_open = episodes_.open_count();
+    record.regions = hub_->tally_regions(fleet, report.abnormal,
+                                         report.isolated, report.massive,
+                                         report.unresolved);
+    hub_->record(std::move(record));
   }
 
   ++interval_;

@@ -13,11 +13,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/characterizer.hpp"
 #include "core/frame.hpp"
+#include "obs/telemetry.hpp"
 #include "online/adaptive.hpp"
 #include "online/episode.hpp"
 #include "online/roster.hpp"
@@ -69,6 +71,12 @@ class OnlineMonitor {
     std::size_t roster_capacity = 0;
     /// Services per device in roster mode (ignored otherwise).
     std::size_t roster_dim = 2;
+    /// Engage the telemetry layer: every observe() emits one
+    /// IntervalTelemetry into an embedded TelemetryHub (see telemetry()).
+    /// Telemetry reads only the interval's outputs — verdicts are
+    /// byte-identical with it on or off (pinned by the conformance test).
+    /// nullopt (default) compiles the hot path down to a null check.
+    std::optional<obs::TelemetryConfig> telemetry;
   };
 
   explicit OnlineMonitor(Config config);
@@ -126,12 +134,21 @@ class OnlineMonitor {
     return engine_.last_stats();
   }
 
+  /// The embedded telemetry hub, or nullptr when Config::telemetry was
+  /// nullopt. The ingestion layer uses this to annotate sealed intervals;
+  /// exporters and the CLI query it.
+  [[nodiscard]] obs::TelemetryHub* telemetry() noexcept { return hub_.get(); }
+  [[nodiscard]] const obs::TelemetryHub* telemetry() const noexcept {
+    return hub_.get();
+  }
+
  private:
   Config config_;
   FrameEngine engine_;
   std::optional<AdaptiveSampler> sampler_;
   EpisodeTracker episodes_;
   std::optional<FleetRoster> roster_;  ///< engaged iff roster_capacity > 0
+  std::unique_ptr<obs::TelemetryHub> hub_;  ///< engaged iff Config::telemetry
   std::uint64_t interval_ = 0;
 };
 

@@ -1,8 +1,27 @@
 #include "sim/metrics.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 
+#include "common/table.hpp"
+
 namespace acn {
+
+std::optional<double> safe_ratio(std::uint64_t num, std::uint64_t den) noexcept {
+  if (den == 0) return std::nullopt;
+  return static_cast<double>(num) / static_cast<double>(den);
+}
+
+std::string json_ratio(std::optional<double> ratio, double scale) {
+  if (!ratio.has_value()) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4f", scale * *ratio);
+  return buf;
+}
+
+std::string fmt_ratio(std::optional<double> ratio, int precision, double scale) {
+  return ratio.has_value() ? fmt(scale * *ratio, precision) : "n/a";
+}
 
 StepMetrics tally_step(const std::vector<Decision>& decisions,
                        const DeviceSet& abnormal, const StepTruth& truth) {

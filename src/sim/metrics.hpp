@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 
 #include "common/stats.hpp"
 #include "core/characterizer.hpp"
@@ -12,6 +14,22 @@
 #include "sim/scenario.hpp"
 
 namespace acn {
+
+/// num/den, or nullopt when the denominator is zero: a precision or recall
+/// over an empty class is UNDEFINED — reporting it as 1.0 hides a scenario
+/// that produced no positives at all, and dividing would make a NaN that
+/// poisons downstream aggregation and is not even valid JSON.
+[[nodiscard]] std::optional<double> safe_ratio(std::uint64_t num,
+                                               std::uint64_t den) noexcept;
+
+/// JSON rendering of a safe_ratio: "%.4f" (after scaling) or the literal
+/// null. Emitters embed this verbatim as the field value.
+[[nodiscard]] std::string json_ratio(std::optional<double> ratio,
+                                     double scale = 1.0);
+
+/// Table rendering of a safe_ratio: fmt(scale * r, precision) or "n/a".
+[[nodiscard]] std::string fmt_ratio(std::optional<double> ratio,
+                                    int precision = 3, double scale = 1.0);
 
 /// Outcome of characterizing every device of one generated step.
 struct StepMetrics {

@@ -1,0 +1,120 @@
+// MetricsRegistry: registration, hot-path semantics, and the lane-shard
+// concurrency contract — concurrent lane writers against a snapshotting
+// reader must be data-race-free (the TSan CI job runs this suite) and the
+// merged totals must be exact once the writers join.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace acn::obs {
+namespace {
+
+TEST(MetricsRegistry, CountersAccumulateAcrossLanes) {
+  MetricsRegistry registry(3);
+  const MetricId a = registry.counter("a_total", "a");
+  const MetricId b = registry.counter("b_total", "b");
+  registry.add(a, 1, 0);
+  registry.add(a, 2, 1);
+  registry.add(a, 3, 2);
+  registry.add(b, 10, 1);
+  const auto values = registry.snapshot();
+  EXPECT_EQ(values[a].count, 6u);
+  EXPECT_EQ(values[b].count, 10u);
+}
+
+TEST(MetricsRegistry, GaugeIsLastWriteWins) {
+  MetricsRegistry registry;
+  const MetricId g = registry.gauge("level", "g");
+  registry.set(g, 4.5);
+  registry.set(g, -1.25);
+  EXPECT_DOUBLE_EQ(registry.snapshot()[g].value, -1.25);
+}
+
+TEST(MetricsRegistry, HistogramBucketsCountAndSum) {
+  MetricsRegistry registry(2);
+  const MetricId h = registry.histogram("ms", "h", {1.0, 10.0, 100.0});
+  registry.observe(h, 0.5, 0);    // bucket le=1
+  registry.observe(h, 1.0, 1);    // le=1 (bounds are inclusive upper bounds)
+  registry.observe(h, 7.0, 0);    // le=10
+  registry.observe(h, 1000.0, 1); // +Inf
+  const auto values = registry.snapshot();
+  ASSERT_EQ(values[h].buckets.size(), 4u);  // 3 bounds + inf
+  EXPECT_EQ(values[h].buckets[0], 2u);
+  EXPECT_EQ(values[h].buckets[1], 1u);
+  EXPECT_EQ(values[h].buckets[2], 0u);
+  EXPECT_EQ(values[h].buckets[3], 1u);
+  EXPECT_EQ(values[h].count, 4u);
+  EXPECT_DOUBLE_EQ(values[h].value, 0.5 + 1.0 + 7.0 + 1000.0);
+}
+
+TEST(MetricsRegistry, HistogramBoundsValidated) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.histogram("bad", "", {}), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("bad", "", {2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("bad", "", {1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, MetadataRoundTrips) {
+  MetricsRegistry registry;
+  const MetricId c = registry.counter("x_total", "help text");
+  EXPECT_EQ(registry.metrics()[c].name, "x_total");
+  EXPECT_EQ(registry.metrics()[c].help, "help text");
+  EXPECT_EQ(registry.metrics()[c].kind, MetricKind::kCounter);
+}
+
+// The concurrency property the whole design rests on: one writer thread per
+// lane hammering counters and histograms while a reader thread snapshots
+// concurrently. TSan must stay quiet (every slot is a relaxed atomic, lanes
+// are disjoint); counter snapshots must be monotone while writers run; and
+// the post-join totals must be exact.
+TEST(MetricsRegistry, ConcurrentLaneWritersVsSnapshotReader) {
+  constexpr unsigned kLanes = 4;
+  constexpr std::uint64_t kPerLane = 20'000;
+  MetricsRegistry registry(kLanes);
+  const MetricId counter = registry.counter("ops_total", "");
+  const MetricId hist = registry.histogram("lat_ms", "", {1.0, 4.0, 16.0});
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    std::uint64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto values = registry.snapshot();
+      EXPECT_GE(values[counter].count, last);
+      last = values[counter].count;
+      EXPECT_LE(values[hist].count, kLanes * kPerLane);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (unsigned lane = 0; lane < kLanes; ++lane) {
+    writers.emplace_back([&, lane] {
+      for (std::uint64_t i = 0; i < kPerLane; ++i) {
+        registry.add(counter, 1, lane);
+        registry.observe(hist, static_cast<double>(i % 20), lane);
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const auto values = registry.snapshot();
+  EXPECT_EQ(values[counter].count, kLanes * kPerLane);
+  EXPECT_EQ(values[hist].count, kLanes * kPerLane);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : values[hist].buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, kLanes * kPerLane);
+  // Sum of i % 20 over kPerLane iterations, per lane.
+  const double per_lane_sum =
+      (kPerLane / 20) * (19.0 * 20.0 / 2.0);
+  EXPECT_DOUBLE_EQ(values[hist].value, kLanes * per_lane_sum);
+}
+
+}  // namespace
+}  // namespace acn::obs

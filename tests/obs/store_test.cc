@@ -1,0 +1,129 @@
+// TelemetryStore: ring eviction, recency indexing, and every trailing-window
+// query against hand-computed records.
+#include "obs/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace acn::obs {
+namespace {
+
+IntervalTelemetry record_at(std::uint64_t interval) {
+  IntervalTelemetry record;
+  record.interval = interval;
+  record.total_ms = static_cast<double>(interval);
+  record.devices = 100;
+  record.abnormal = static_cast<std::uint32_t>(interval % 5);
+  record.degraded = interval % 4 == 0;
+  return record;
+}
+
+TEST(TelemetryStore, RingEvictsOldestAndKeepsRecencyOrder) {
+  TelemetryStore store(8);
+  EXPECT_TRUE(store.empty());
+  for (std::uint64_t k = 0; k < 20; ++k) store.push(record_at(k));
+
+  EXPECT_EQ(store.size(), 8u);
+  EXPECT_EQ(store.capacity(), 8u);
+  EXPECT_EQ(store.latest().interval, 19u);
+  // from_latest walks back newest -> oldest retained.
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    EXPECT_EQ(store.from_latest(i).interval, 19u - i);
+  }
+  // Evicted intervals are gone; retained ones findable.
+  EXPECT_EQ(store.find(11), nullptr);
+  ASSERT_NE(store.find(12), nullptr);
+  EXPECT_EQ(store.find(12)->interval, 12u);
+}
+
+TEST(TelemetryStore, FindAllowsInPlaceAnnotation) {
+  TelemetryStore store(4);
+  store.push(record_at(7));
+  IngestSample sample;
+  sample.duplicates = 3;
+  store.find(7)->ingest = sample;
+  ASSERT_TRUE(store.latest().ingest.has_value());
+  EXPECT_EQ(store.latest().ingest->duplicates, 3u);
+}
+
+TEST(TelemetryStore, WindowedVerdictMixAndRates) {
+  TelemetryStore store(16);
+  // intervals 0..9: abnormal = k % 5, devices = 100, degraded when k % 4 == 0.
+  for (std::uint64_t k = 0; k < 10; ++k) store.push(record_at(k));
+
+  // Window 4 = intervals 6,7,8,9: abnormal 1+2+3+4 = 10 over 400 devices.
+  const auto mix = store.verdict_mix(4);
+  EXPECT_EQ(mix.intervals, 4u);
+  EXPECT_EQ(mix.abnormal, 10u);
+  EXPECT_DOUBLE_EQ(store.anomaly_rate(4), 10.0 / 400.0);
+  // Degraded in {6,7,8,9}: only 8 -> 1/4.
+  EXPECT_DOUBLE_EQ(store.degraded_rate(4), 0.25);
+  // Window 0 = everything retained (10 records).
+  EXPECT_EQ(store.verdict_mix(0).intervals, 10u);
+  // Oversized windows clamp.
+  EXPECT_EQ(store.verdict_mix(99).intervals, 10u);
+}
+
+TEST(TelemetryStore, RegionQueries) {
+  TelemetryStore store(8);
+  IntervalTelemetry a = record_at(1);
+  a.regions = {RegionStats{50, 5, 3, 2, 0}, RegionStats{50, 0, 0, 0, 0}};
+  IntervalTelemetry b = record_at(2);
+  b.regions = {RegionStats{60, 1, 1, 0, 0}, RegionStats{40, 3, 0, 3, 0}};
+  store.push(std::move(a));
+  store.push(std::move(b));
+
+  EXPECT_DOUBLE_EQ(store.region_anomaly_rate(0, 0), 6.0 / 110.0);
+  EXPECT_DOUBLE_EQ(store.region_anomaly_rate(1, 0), 3.0 / 90.0);
+  EXPECT_DOUBLE_EQ(store.region_anomaly_rate(1, 1), 3.0 / 40.0);  // last only
+  EXPECT_DOUBLE_EQ(store.region_anomaly_rate(7, 0), 0.0);  // absent region
+
+  const auto totals = store.region_totals(0);
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_EQ(totals[0].devices, 110u);
+  EXPECT_EQ(totals[0].abnormal, 6u);
+  EXPECT_EQ(totals[1].massive, 3u);
+}
+
+TEST(TelemetryStore, BudgetExhaustedRate) {
+  TelemetryStore store(4);
+  IntervalTelemetry r = record_at(1);
+  r.abnormal = 8;
+  r.budget_exhausted = 2;
+  store.push(std::move(r));
+  EXPECT_DOUBLE_EQ(store.budget_exhausted_rate(0), 0.25);
+  TelemetryStore empty_store(4);
+  EXPECT_DOUBLE_EQ(empty_store.budget_exhausted_rate(0), 0.0);
+}
+
+TEST(TelemetryStore, StepMsPercentiles) {
+  TelemetryStore store(16);
+  // total_ms = interval, intervals 0..9 -> sorted ms 0..9.
+  for (std::uint64_t k = 0; k < 10; ++k) store.push(record_at(k));
+  const auto pct = store.step_ms_percentiles(0);
+  EXPECT_DOUBLE_EQ(pct.p50, 4.5);
+  EXPECT_NEAR(pct.p90, 8.1, 1e-9);
+  EXPECT_NEAR(pct.p99, 8.91, 1e-9);
+  EXPECT_DOUBLE_EQ(pct.max, 9.0);
+  // Empty store: all zeros, no crash.
+  TelemetryStore empty_store(4);
+  EXPECT_DOUBLE_EQ(empty_store.step_ms_percentiles(0).p50, 0.0);
+}
+
+TEST(TelemetryStore, SeriesOldestFirstAndUnknownDimensionThrows) {
+  TelemetryStore store(4);
+  for (std::uint64_t k = 10; k < 16; ++k) store.push(record_at(k));  // keeps 12..15
+  const auto points = store.series("ms", 3);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].first, 13u);  // oldest of the window first
+  EXPECT_EQ(points[2].first, 15u);
+  EXPECT_DOUBLE_EQ(points[2].second, 15.0);
+  const auto rate = store.series("anomaly_rate", 1);
+  EXPECT_DOUBLE_EQ(rate[0].second, static_cast<double>(15 % 5) / 100.0);
+  EXPECT_THROW((void)store.series("no-such-dimension", 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acn::obs

@@ -3,6 +3,10 @@
 // Usage:
 //   acn_cli characterize <snapshots.csv> --r 0.03 --tau 3 [--csv]
 //   acn_cli demo [--n 500] [--errors 10] [--seed 1] [--r 0.03] [--tau 3]
+//   acn_cli telemetry [--family F|list] [--n N] [--seed S] [--intervals K]
+//                     [--regions G] [--window W] [--format prom|json]
+//                     [--query anomaly-rate|verdict-mix|ms-percentiles|
+//                      degraded-rate [--region I]] [--watch]
 //
 // Input format for `characterize` (one row per device):
 //   device_id, prev_1..prev_d, curr_1..curr_d, abnormal(0|1)
@@ -10,6 +14,13 @@
 //
 // `demo` generates one interval of the paper's §VII-A workload and
 // characterizes it — a no-input way to see the library run.
+//
+// `telemetry` streams a hostile family through a telemetry-enabled
+// OnlineMonitor and then either dumps the whole hub (--format prom|json),
+// answers one trailing-window query (--query, optionally per --region), or
+// tails one line per interval while streaming (--watch). This is the
+// operator's view of the telemetry layer: the same store and exporters a
+// deployment would scrape.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +29,9 @@
 
 #include "common/csv.hpp"
 #include "core/report.hpp"
+#include "obs/export.hpp"
+#include "online/monitor.hpp"
+#include "sim/hostile.hpp"
 #include "sim/scenario.hpp"
 
 namespace {
@@ -32,10 +46,16 @@ struct Options {
 };
 
 void usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  acn_cli characterize <snapshots.csv> [--r R] [--tau T] [--csv]\n"
-               "  acn_cli demo [--n N] [--errors A] [--seed S] [--r R] [--tau T]\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  acn_cli characterize <snapshots.csv> [--r R] [--tau T] [--csv]\n"
+      "  acn_cli demo [--n N] [--errors A] [--seed S] [--r R] [--tau T]\n"
+      "  acn_cli telemetry [--family F|list] [--n N] [--seed S]\n"
+      "                    [--intervals K] [--regions G] [--window W]\n"
+      "                    [--format prom|json] [--query Q [--region I]]\n"
+      "                    [--watch]\n"
+      "    Q: anomaly-rate | verdict-mix | ms-percentiles | degraded-rate\n");
 }
 
 Options parse_flags(int argc, char** argv, int first) {
@@ -157,6 +177,166 @@ int run_demo(const Options& options) {
   return 0;
 }
 
+// --- telemetry subcommand ------------------------------------------------
+
+struct TelemetryOptions {
+  std::string family = "regional-outage";
+  std::size_t n = 400;
+  std::uint64_t seed = 2014;
+  int intervals = 24;
+  std::uint32_t regions = 8;
+  std::size_t window = 8;
+  std::string format = "json";  ///< prom | json
+  std::string query;            ///< empty = full dump
+  int region = -1;              ///< -1 = fleet-wide
+  bool watch = false;
+};
+
+TelemetryOptions parse_telemetry_flags(int argc, char** argv, int first) {
+  TelemetryOptions options;
+  for (int i = first; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto need_value = [&](const char* name) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", name);
+        std::exit(2);
+      }
+      return std::string(argv[++i]);
+    };
+    if (flag == "--family") options.family = need_value("--family");
+    else if (flag == "--n") {
+      options.n = static_cast<std::size_t>(std::atoll(need_value("--n").c_str()));
+    } else if (flag == "--seed") {
+      options.seed =
+          static_cast<std::uint64_t>(std::atoll(need_value("--seed").c_str()));
+    } else if (flag == "--intervals") {
+      options.intervals = std::atoi(need_value("--intervals").c_str());
+    } else if (flag == "--regions") {
+      options.regions =
+          static_cast<std::uint32_t>(std::atoi(need_value("--regions").c_str()));
+    } else if (flag == "--window") {
+      options.window =
+          static_cast<std::size_t>(std::atoll(need_value("--window").c_str()));
+    } else if (flag == "--format") options.format = need_value("--format");
+    else if (flag == "--query") options.query = need_value("--query");
+    else if (flag == "--region") {
+      options.region = std::atoi(need_value("--region").c_str());
+    } else if (flag == "--watch") options.watch = true;
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+int run_telemetry(const TelemetryOptions& options) {
+  const std::vector<acn::HostileSpec> suite =
+      acn::standard_hostile_suite(options.n, options.seed);
+  if (options.family == "list") {
+    for (const acn::HostileSpec& spec : suite) {
+      std::printf("%-20s %s\n", spec.name.c_str(), spec.violates.c_str());
+    }
+    return 0;
+  }
+  const acn::HostileSpec* spec = nullptr;
+  for (const acn::HostileSpec& candidate : suite) {
+    if (candidate.name == options.family) spec = &candidate;
+  }
+  if (spec == nullptr) {
+    std::fprintf(stderr,
+                 "unknown family '%s' (acn_cli telemetry --family list)\n",
+                 options.family.c_str());
+    return 2;
+  }
+
+  acn::HostileScenario scenario(spec->params);
+  acn::OnlineMonitor::Config config;
+  config.model = spec->params.base.model;
+  config.telemetry = acn::obs::TelemetryConfig{
+      .history = static_cast<std::size_t>(options.intervals) + 1,
+      .regions = options.regions};
+  acn::OnlineMonitor monitor(config);
+  (void)monitor.observe(scenario.initial(), acn::DeviceSet{});
+  const acn::obs::TelemetryHub& hub = *monitor.telemetry();
+  for (int k = 0; k < options.intervals; ++k) {
+    acn::HostileStep step = scenario.advance();
+    (void)monitor.observe(std::move(step.observed), step.abnormal);
+    if (options.watch) {
+      const acn::obs::IntervalTelemetry& last = hub.store().latest();
+      std::printf(
+          "k=%llu ms=%.3f abnormal=%u isolated=%u massive=%u unresolved=%u "
+          "episodes_open=%llu\n",
+          static_cast<unsigned long long>(last.interval), last.total_ms,
+          last.abnormal, last.isolated, last.massive, last.unresolved,
+          static_cast<unsigned long long>(last.episodes_open));
+    }
+  }
+
+  const acn::obs::TelemetryStore& store = hub.store();
+  if (options.query == "anomaly-rate") {
+    if (options.region >= 0) {
+      std::printf(
+          "{\"query\":\"anomaly-rate\",\"family\":\"%s\",\"window\":%zu,"
+          "\"region\":%d,\"value\":%.6f}\n",
+          spec->name.c_str(), options.window, options.region,
+          store.region_anomaly_rate(static_cast<std::uint32_t>(options.region),
+                                    options.window));
+    } else {
+      std::printf(
+          "{\"query\":\"anomaly-rate\",\"family\":\"%s\",\"window\":%zu,"
+          "\"value\":%.6f}\n",
+          spec->name.c_str(), options.window, store.anomaly_rate(options.window));
+    }
+    return 0;
+  }
+  if (options.query == "verdict-mix") {
+    const auto mix = store.verdict_mix(options.window);
+    std::printf(
+        "{\"query\":\"verdict-mix\",\"family\":\"%s\",\"window\":%zu,"
+        "\"intervals\":%llu,\"abnormal\":%llu,\"isolated\":%llu,"
+        "\"massive\":%llu,\"unresolved\":%llu,\"budget_exhausted\":%llu}\n",
+        spec->name.c_str(), options.window,
+        static_cast<unsigned long long>(mix.intervals),
+        static_cast<unsigned long long>(mix.abnormal),
+        static_cast<unsigned long long>(mix.isolated),
+        static_cast<unsigned long long>(mix.massive),
+        static_cast<unsigned long long>(mix.unresolved),
+        static_cast<unsigned long long>(mix.budget_exhausted));
+    return 0;
+  }
+  if (options.query == "ms-percentiles") {
+    const auto pct = store.step_ms_percentiles(options.window);
+    std::printf(
+        "{\"query\":\"ms-percentiles\",\"family\":\"%s\",\"window\":%zu,"
+        "\"p50\":%.4f,\"p90\":%.4f,\"p99\":%.4f,\"max\":%.4f}\n",
+        spec->name.c_str(), options.window, pct.p50, pct.p90, pct.p99, pct.max);
+    return 0;
+  }
+  if (options.query == "degraded-rate") {
+    std::printf(
+        "{\"query\":\"degraded-rate\",\"family\":\"%s\",\"window\":%zu,"
+        "\"value\":%.6f}\n",
+        spec->name.c_str(), options.window, store.degraded_rate(options.window));
+    return 0;
+  }
+  if (!options.query.empty()) {
+    std::fprintf(stderr, "unknown query '%s'\n", options.query.c_str());
+    return 2;
+  }
+
+  if (options.format == "prom") {
+    std::fputs(acn::obs::to_prometheus(hub, options.window).c_str(), stdout);
+  } else if (options.format == "json") {
+    std::printf("%s\n", acn::obs::to_json(hub, options.window).c_str());
+  } else {
+    std::fprintf(stderr, "unknown format '%s' (prom|json)\n",
+                 options.format.c_str());
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -175,6 +355,9 @@ int main(int argc, char** argv) {
     }
     if (command == "demo") {
       return run_demo(parse_flags(argc, argv, 2));
+    }
+    if (command == "telemetry") {
+      return run_telemetry(parse_telemetry_flags(argc, argv, 2));
     }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

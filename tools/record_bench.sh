@@ -61,6 +61,12 @@ if [ -x "$build_dir/bench/bench_kernels" ]; then
   kernel_dispatch=$("$build_dir/bench/bench_kernels" --dispatch 2>/dev/null || echo unknown)
 fi
 
+# Provenance for like-for-like comparison: the commit the binaries were
+# built from and the core count of the recording machine (a 1-core runner's
+# parallel rows are not comparable to a 16-core workstation's).
+git_commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+cpu_cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+
 # Emit a JSON string literal for stdin (escape backslash, quote, newline, tab).
 json_escape() {
   sed -e 's/\\/\\\\/g' -e 's/"/\\"/g' -e 's/\t/\\t/g' |
@@ -179,6 +185,8 @@ for bin in "$@"; do
       printf '  "recorded_at": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
       printf '  "elapsed_seconds": %s,\n' "$elapsed"
       printf '  "kernel_dispatch": "%s",\n' "$kernel_dispatch"
+      printf '  "git_commit": "%s",\n' "$git_commit"
+      printf '  "cpu_cores": %s,\n' "$cpu_cores"
       printf '  "ok": %s,\n' "$ok"
       printf '  "stdout": "%s"\n' "$(printf '%s' "$output" | json_escape)"
       printf '}\n'
